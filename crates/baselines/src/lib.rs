@@ -1,0 +1,17 @@
+//! # gcsm-baselines — the paper's CPU comparison systems
+//!
+//! * [`recompute`] — the IncIsoMatch-style reference \[12\]: re-match the
+//!   pattern from scratch on the pre- and post-batch snapshots and take the
+//!   difference. Exact, quadratic in practice; this is the ground truth the
+//!   integration suite checks every engine against.
+//! * [`rapidflow`] — a RapidFlow-like system \[15\]: a per-pattern-vertex
+//!   **candidate index** (label + degree filter) that buys an optimized,
+//!   cardinality-driven matching order and candidate pruning, at the cost
+//!   of the index's memory footprint — the trade-off the paper discusses
+//!   (RapidFlow runs out of memory on the large graphs, Fig. 14).
+
+pub mod rapidflow;
+pub mod recompute;
+
+pub use rapidflow::RapidFlow;
+pub use recompute::recompute_delta;

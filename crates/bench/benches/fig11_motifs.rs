@@ -1,0 +1,38 @@
+//! Fig. 11 bench: motif counting on the road networks (flat degrees).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gcsm::Pipeline;
+use gcsm_bench::{make_engine, EngineKind, RunConfig, Workload};
+use gcsm_datagen::Preset;
+use gcsm_pattern::connected_motifs;
+
+fn bench_motifs(c: &mut Criterion) {
+    let rc = RunConfig { scale: 0.25, max_batches: 1, symmetry_break: true, ..Default::default() };
+    let w = Workload::build(Preset::RoadNetPA, rc.scale, 1024, 1);
+    let mut group = c.benchmark_group("fig11_pa_motifs");
+    group.sample_size(10);
+    for size in [3usize, 4] {
+        let motifs = connected_motifs(size);
+        for kind in [EngineKind::ZeroCopy, EngineKind::Gcsm] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("size{size}"), kind.name()),
+                &kind,
+                |b, &kind| {
+                    b.iter(|| {
+                        let mut total = 0i64;
+                        for m in &motifs {
+                            let mut engine = make_engine(kind, rc.engine_config(&w));
+                            let mut p = Pipeline::new(w.initial.clone(), m.clone());
+                            total += p.process_batch(engine.as_mut(), &w.batches[0]).matches;
+                        }
+                        total
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_motifs);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Fig. 12 bench: batch-size sweep of ZP vs GCSM.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gcsm::Pipeline;
+use gcsm_bench::{make_engine, EngineKind, RunConfig, Workload};
+use gcsm_datagen::Preset;
+use gcsm_pattern::queries;
+
+fn bench_batch_sweep(c: &mut Criterion) {
+    let rc = RunConfig { scale: 0.0625, max_batches: 1, ..Default::default() };
+    let q = queries::q6();
+    let mut group = c.benchmark_group("fig12_sf3k_q6");
+    group.sample_size(10);
+    for batch in [64usize, 256, 1024] {
+        let w = Workload::build(Preset::Sf3k, rc.scale, batch, 1);
+        group.throughput(Throughput::Elements(batch as u64));
+        for kind in [EngineKind::ZeroCopy, EngineKind::Gcsm] {
+            group.bench_with_input(
+                BenchmarkId::new(kind.name(), batch),
+                &kind,
+                |b, &kind| {
+                    b.iter(|| {
+                        let mut engine = make_engine(kind, rc.engine_config(&w));
+                        let mut p = Pipeline::new(w.initial.clone(), q.clone());
+                        p.process_batch(engine.as_mut(), &w.batches[0]).matches
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch_sweep);
+criterion_main!(benches);

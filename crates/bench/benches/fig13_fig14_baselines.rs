@@ -1,0 +1,49 @@
+//! Fig. 13 / Fig. 14 benches: VSGM's copy-heavy baseline and the
+//! RapidFlow-like CPU comparator against GCSM.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gcsm::Pipeline;
+use gcsm_bench::{make_engine, EngineKind, RunConfig, Workload};
+use gcsm_datagen::Preset;
+use gcsm_pattern::queries;
+
+/// Fig. 13: VSGM (k-hop pre-copy) vs GCSM at a small batch size.
+fn bench_vsgm(c: &mut Criterion) {
+    let rc = RunConfig { scale: 0.0625, max_batches: 1, ..Default::default() };
+    let w = Workload::build(Preset::Sf3k, rc.scale, 128, 1);
+    let q = queries::q1();
+    let mut group = c.benchmark_group("fig13_sf3k_batch128");
+    group.sample_size(10);
+    for kind in [EngineKind::Vsgm, EngineKind::Gcsm] {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &kind| {
+            b.iter(|| {
+                let mut engine = make_engine(kind, rc.engine_config(&w));
+                let mut p = Pipeline::new(w.initial.clone(), q.clone());
+                p.process_batch(engine.as_mut(), &w.batches[0]).matches
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Fig. 14: RapidFlow-like vs plain CPU vs GCSM on the Amazon-class graph.
+fn bench_rapidflow(c: &mut Criterion) {
+    let rc = RunConfig { scale: 0.25, max_batches: 1, ..Default::default() };
+    let w = Workload::build(Preset::Amazon, rc.scale, 512, 1);
+    let q = queries::q2();
+    let mut group = c.benchmark_group("fig14_az_batch512");
+    group.sample_size(10);
+    for kind in [EngineKind::RapidFlow, EngineKind::Cpu, EngineKind::Gcsm] {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &kind| {
+            b.iter(|| {
+                let mut engine = make_engine(kind, rc.engine_config(&w));
+                let mut p = Pipeline::new(w.initial.clone(), q.clone());
+                p.process_batch(engine.as_mut(), &w.batches[0]).matches
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_vsgm, bench_rapidflow);
+criterion_main!(benches);

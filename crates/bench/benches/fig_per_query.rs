@@ -1,0 +1,39 @@
+//! Criterion benches for the per-query figures (Fig. 8 / 9 / 10 shape):
+//! wall-clock time of each engine processing one batch, per query.
+//!
+//! The `repro` binary reports the simulated times the figures are built
+//! from; these benches measure the real wall cost of the same cells at a
+//! reduced scale so `cargo bench` stays minutes, not hours.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gcsm_bench::{make_engine, EngineKind, RunConfig, Workload};
+use gcsm::Pipeline;
+use gcsm_datagen::Preset;
+use gcsm_pattern::queries;
+
+fn bench_per_query(c: &mut Criterion) {
+    let rc = RunConfig { scale: 0.0625, max_batches: 1, ..Default::default() };
+    let w = Workload::build(Preset::Friendster, rc.scale, 512, 1);
+    let mut group = c.benchmark_group("fig8_fr_batch512");
+    group.sample_size(10);
+    for q in [queries::q1(), queries::q2(), queries::q3()] {
+        for kind in [EngineKind::ZeroCopy, EngineKind::NaiveDegree, EngineKind::Cpu, EngineKind::Gcsm]
+        {
+            group.bench_with_input(
+                BenchmarkId::new(q.name(), kind.name()),
+                &kind,
+                |b, &kind| {
+                    b.iter(|| {
+                        let mut engine = make_engine(kind, rc.engine_config(&w));
+                        let mut p = Pipeline::new(w.initial.clone(), q.clone());
+                        p.process_batch(engine.as_mut(), &w.batches[0]).matches
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_per_query);
+criterion_main!(benches);

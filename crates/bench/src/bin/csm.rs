@@ -1,0 +1,211 @@
+//! `csm` — run continuous subgraph matching on your own data.
+//!
+//! ```text
+//! # count triangles incrementally over a SNAP edge list + update stream
+//! csm --graph web.el --updates stream.upd --query "0-1,1-2,0-2" \
+//!     --engine gcsm --batch-size 512
+//!
+//! # no data handy? --demo generates a synthetic social graph + stream
+//! csm --demo --query Q2 --engine zp
+//! ```
+//!
+//! Formats: the graph is a whitespace edge list (`src dst` per line, `#`
+//! comments); the update stream is `+ src dst` / `- src dst` lines. The
+//! query is either a preset name (`Q1..Q6`, `triangle`) or a compact edge
+//! list (`"0-1,1-2,0-2"`). Engines: `gcsm zp um vsgm naive cpu rf`.
+
+use gcsm::prelude::*;
+use gcsm_graph::{io, CsrGraph, EdgeUpdate};
+use gcsm_pattern::{queries, QueryGraph};
+
+struct Args {
+    graph: Option<String>,
+    updates: Option<String>,
+    query: String,
+    engine: String,
+    batch_size: usize,
+    budget_frac: f64,
+    unique: bool,
+    demo: bool,
+    collect: usize,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut a = Args {
+        graph: None,
+        updates: None,
+        query: "triangle".into(),
+        engine: "gcsm".into(),
+        batch_size: 512,
+        budget_frac: 0.125,
+        unique: false,
+        demo: false,
+        collect: 0,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let need = |i: usize| -> Result<&String, String> {
+            argv.get(i + 1).ok_or_else(|| format!("{} needs a value", argv[i]))
+        };
+        match argv[i].as_str() {
+            "--graph" => {
+                a.graph = Some(need(i)?.clone());
+                i += 1;
+            }
+            "--updates" => {
+                a.updates = Some(need(i)?.clone());
+                i += 1;
+            }
+            "--query" => {
+                a.query = need(i)?.clone();
+                i += 1;
+            }
+            "--engine" => {
+                a.engine = need(i)?.to_lowercase();
+                i += 1;
+            }
+            "--batch-size" => {
+                a.batch_size = need(i)?.parse().map_err(|e| format!("--batch-size: {e}"))?;
+                i += 1;
+            }
+            "--budget" => {
+                a.budget_frac = need(i)?.parse().map_err(|e| format!("--budget: {e}"))?;
+                i += 1;
+            }
+            "--unique" => a.unique = true,
+            "--demo" => a.demo = true,
+            "--collect" => {
+                a.collect = need(i)?.parse().map_err(|e| format!("--collect: {e}"))?;
+                i += 1;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: csm [--graph FILE --updates FILE | --demo] \
+                     [--query NAME|SPEC] [--engine gcsm|zp|um|vsgm|naive|cpu|rf] \
+                     [--batch-size N] [--budget FRAC] [--unique] [--collect K]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+        i += 1;
+    }
+    if !a.demo && (a.graph.is_none() || a.updates.is_none()) {
+        return Err("need --graph and --updates, or --demo".into());
+    }
+    Ok(a)
+}
+
+fn resolve_query(spec: &str) -> Result<QueryGraph, String> {
+    if spec.eq_ignore_ascii_case("triangle") {
+        return Ok(queries::triangle());
+    }
+    if let Some(q) = queries::by_name(&spec.to_uppercase()) {
+        return Ok(q);
+    }
+    QueryGraph::parse("custom", spec)
+}
+
+fn make_engine(name: &str, cfg: EngineConfig) -> Result<Box<dyn Engine>, String> {
+    Ok(match name {
+        "gcsm" => Box::new(GcsmEngine::new(cfg)),
+        "zp" => Box::new(ZeroCopyEngine::new(cfg)),
+        "um" => Box::new(UnifiedMemEngine::new(cfg)),
+        "vsgm" => Box::new(VsgmEngine::new(cfg)),
+        "naive" => Box::new(NaiveDegreeEngine::new(cfg)),
+        "cpu" => Box::new(CpuWcojEngine::new(cfg)),
+        "rf" => Box::new(RapidFlowEngine::new(cfg)),
+        other => return Err(format!("unknown engine '{other}'")),
+    })
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("csm: {e}\ntry --help");
+            std::process::exit(2);
+        }
+    };
+
+    let (graph, updates): (CsrGraph, Vec<EdgeUpdate>) = if args.demo {
+        let g = gcsm_datagen::social::generate_social(
+            &gcsm_datagen::social::SocialConfig::new(15, 6, 42),
+        );
+        let stream =
+            gcsm_datagen::UpdateStream::generate(&g, gcsm_datagen::StreamConfig::Fraction(0.1), 7);
+        (stream.initial, stream.updates)
+    } else {
+        let g = io::load_edge_list(args.graph.as_ref().unwrap()).unwrap_or_else(|e| {
+            eprintln!("csm: {e}");
+            std::process::exit(1);
+        });
+        let u = io::load_updates(args.updates.as_ref().unwrap()).unwrap_or_else(|e| {
+            eprintln!("csm: {e}");
+            std::process::exit(1);
+        });
+        (g, u)
+    };
+    let query = resolve_query(&args.query).unwrap_or_else(|e| {
+        eprintln!("csm: bad query: {e}");
+        std::process::exit(1);
+    });
+
+    let budget = ((graph.adjacency_bytes() as f64 * args.budget_frac) as usize).max(64 << 10);
+    let mut cfg = EngineConfig::with_cache_budget(budget);
+    cfg.plan.symmetry_break = args.unique;
+    let mut engine = make_engine(&args.engine, cfg).unwrap_or_else(|e| {
+        eprintln!("csm: {e}");
+        std::process::exit(2);
+    });
+
+    println!(
+        "graph: {} vertices, {} edges | query {} (n={}, m={}) | engine {} | {} updates in batches of {}",
+        graph.num_vertices(),
+        graph.num_edges(),
+        query.name(),
+        query.num_vertices(),
+        query.num_edges(),
+        engine.name(),
+        updates.len(),
+        args.batch_size
+    );
+
+    let mut pipeline = Pipeline::new(graph, query);
+    let mut cumulative = 0i64;
+    let mut total_ms = 0.0;
+    let unit = if args.unique { "subgraphs" } else { "embeddings" };
+    let batches: Vec<&[EdgeUpdate]> = updates.chunks(args.batch_size).collect();
+    for (i, batch) in batches.iter().enumerate() {
+        if args.collect > 0 {
+            let (r, matches) = pipeline.process_batch_collect(engine.as_mut(), batch);
+            cumulative += r.matches;
+            total_ms += r.total_ms();
+            println!(
+                "batch {i:>4}: ΔM {:+8}  (cumulative {cumulative:+})  {:.3} ms sim  hit {:>3.0}%",
+                r.matches,
+                r.total_ms(),
+                r.cache_hit_rate * 100.0
+            );
+            for (m, sign) in matches.iter().take(args.collect) {
+                println!("          {} {:?}", if *sign > 0 { "+" } else { "-" }, m);
+            }
+        } else {
+            let r = pipeline.process_batch(engine.as_mut(), batch);
+            cumulative += r.matches;
+            total_ms += r.total_ms();
+            println!(
+                "batch {i:>4}: ΔM {:+8}  (cumulative {cumulative:+})  {:.3} ms sim  hit {:>3.0}%",
+                r.matches,
+                r.total_ms(),
+                r.cache_hit_rate * 100.0
+            );
+        }
+    }
+    println!(
+        "done: {} batches, net {cumulative:+} {unit}, {:.3} ms total simulated time",
+        batches.len(),
+        total_ms
+    );
+}

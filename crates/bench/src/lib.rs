@@ -1,0 +1,19 @@
+//! # gcsm-bench — the evaluation harness
+//!
+//! Regenerates every table and figure of the paper's Sec. VI (see the
+//! experiment index in DESIGN.md §4) on the synthetic stand-in datasets.
+//! The `repro` binary prints paper-shaped tables; the criterion benches
+//! under `benches/` measure wall-clock time of the same cells.
+//!
+//! Times in the tables are **simulated milliseconds** from the
+//! `gcsm-gpusim` cost model (the quantity that reproduces the paper's
+//! data-movement story); wall-clock seconds are printed alongside for
+//! transparency.
+
+pub mod report;
+pub mod runner;
+pub mod workload;
+
+pub use report::{fmt_bytes, Table};
+pub use runner::{make_engine, run_cell, CellResult, EngineKind, RunConfig};
+pub use workload::Workload;

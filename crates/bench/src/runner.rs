@@ -1,0 +1,165 @@
+//! Cell runner: (engine × dataset × query × batch size) → aggregated
+//! measurements.
+
+use crate::workload::Workload;
+use gcsm::prelude::*;
+use gcsm_pattern::QueryGraph;
+
+/// Engine selector.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EngineKind {
+    Gcsm,
+    ZeroCopy,
+    UnifiedMem,
+    Vsgm,
+    NaiveDegree,
+    Cpu,
+    RapidFlow,
+    /// IncIsoMatch-style recompute-from-scratch \[12\] — small scales only.
+    Recompute,
+}
+
+impl EngineKind {
+    pub fn name(&self) -> &'static str {
+        match self {
+            EngineKind::Gcsm => "GCSM",
+            EngineKind::ZeroCopy => "ZP",
+            EngineKind::UnifiedMem => "UM",
+            EngineKind::Vsgm => "VSGM",
+            EngineKind::NaiveDegree => "Naive",
+            EngineKind::Cpu => "CPU",
+            EngineKind::RapidFlow => "RF",
+            EngineKind::Recompute => "Recompute",
+        }
+    }
+}
+
+/// Instantiate an engine.
+pub fn make_engine(kind: EngineKind, cfg: EngineConfig) -> Box<dyn Engine> {
+    match kind {
+        EngineKind::Gcsm => Box::new(GcsmEngine::new(cfg)),
+        EngineKind::ZeroCopy => Box::new(ZeroCopyEngine::new(cfg)),
+        EngineKind::UnifiedMem => Box::new(UnifiedMemEngine::new(cfg)),
+        EngineKind::Vsgm => Box::new(VsgmEngine::new(cfg)),
+        EngineKind::NaiveDegree => Box::new(NaiveDegreeEngine::new(cfg)),
+        EngineKind::Cpu => Box::new(CpuWcojEngine::new(cfg)),
+        EngineKind::RapidFlow => Box::new(RapidFlowEngine::new(cfg)),
+        EngineKind::Recompute => Box::new(RecomputeEngine::new(cfg)),
+    }
+}
+
+/// Global run configuration.
+#[derive(Clone, Debug)]
+pub struct RunConfig {
+    /// Dataset scale multiplier.
+    pub scale: f64,
+    /// Batches measured per cell.
+    pub max_batches: usize,
+    /// GPU cache budget as a fraction of the graph's adjacency bytes
+    /// (the paper's regime: buffer ≪ graph, but big enough for the
+    /// walk-sampled working set of one batch).
+    pub budget_fraction: f64,
+    /// Symmetry-break (unique-subgraph counting) — used for motif counts.
+    pub symmetry_break: bool,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        Self { scale: 1.0, max_batches: 2, budget_fraction: 1.0 / 8.0, symmetry_break: false }
+    }
+}
+
+impl RunConfig {
+    /// Engine config for a given workload (budget scaled to the graph).
+    pub fn engine_config(&self, w: &Workload) -> EngineConfig {
+        let budget =
+            ((w.initial.adjacency_bytes() as f64 * self.budget_fraction) as usize).max(64 << 10);
+        let mut cfg = EngineConfig::with_cache_budget(budget);
+        cfg.plan.symmetry_break = self.symmetry_break;
+        cfg
+    }
+}
+
+/// Aggregated per-batch averages for one cell.
+#[derive(Clone, Debug, Default)]
+pub struct CellResult {
+    pub engine: String,
+    /// Average simulated milliseconds per batch (total across phases).
+    pub ms: f64,
+    /// Phase averages (simulated ms).
+    pub fe_ms: f64,
+    pub dc_ms: f64,
+    pub match_ms: f64,
+    pub reorg_ms: f64,
+    pub update_ms: f64,
+    /// Average bytes read from CPU memory per batch.
+    pub cpu_bytes: f64,
+    /// Average cache hit rate.
+    pub hit_rate: f64,
+    /// Net matches over all measured batches (identical across engines).
+    pub matches: i64,
+    /// Average wall seconds per batch.
+    pub wall_s: f64,
+    /// Auxiliary memory (RF index bytes), max over batches.
+    pub aux_bytes: usize,
+    /// Average bytes shipped to the device cache per batch.
+    pub cached_bytes: f64,
+    /// Total set-intersection element operations across batches.
+    pub ops: u64,
+}
+
+/// Run one engine over the workload's batches.
+pub fn run_cell(kind: EngineKind, w: &Workload, q: &QueryGraph, rc: &RunConfig) -> CellResult {
+    let cfg = rc.engine_config(w);
+    let mut engine = make_engine(kind, cfg);
+    let mut pipeline = Pipeline::new(w.initial.clone(), q.clone());
+    let mut agg = CellResult { engine: kind.name().to_string(), ..Default::default() };
+    let n = w.batches.len().max(1) as f64;
+    for batch in &w.batches {
+        let r = pipeline.process_batch(engine.as_mut(), batch);
+        agg.ms += r.total_ms() / n;
+        agg.fe_ms += r.phases.freq_est * 1e3 / n;
+        agg.dc_ms += r.phases.data_copy * 1e3 / n;
+        agg.match_ms += r.phases.matching * 1e3 / n;
+        agg.reorg_ms += r.phases.reorganize * 1e3 / n;
+        agg.update_ms += r.phases.update * 1e3 / n;
+        agg.cpu_bytes += r.cpu_access_bytes as f64 / n;
+        agg.hit_rate += r.cache_hit_rate / n;
+        agg.matches += r.matches;
+        agg.wall_s += r.wall_seconds / n;
+        agg.aux_bytes = agg.aux_bytes.max(r.aux_bytes);
+        agg.cached_bytes += r.cached_bytes as f64 / n;
+        agg.ops += r.stats.intersect_ops;
+    }
+    agg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcsm_datagen::Preset;
+    use gcsm_pattern::queries;
+
+    #[test]
+    fn all_engines_agree_on_matches() {
+        let rc = RunConfig { scale: 0.0625, max_batches: 2, ..Default::default() };
+        let w = Workload::build(Preset::Amazon, rc.scale, 32, rc.max_batches);
+        let q = queries::triangle();
+        let kinds = [
+            EngineKind::Gcsm,
+            EngineKind::ZeroCopy,
+            EngineKind::UnifiedMem,
+            EngineKind::Vsgm,
+            EngineKind::NaiveDegree,
+            EngineKind::Cpu,
+            EngineKind::RapidFlow,
+        ];
+        let results: Vec<CellResult> =
+            kinds.iter().map(|&k| run_cell(k, &w, &q, &rc)).collect();
+        let expect = results[0].matches;
+        for r in &results {
+            assert_eq!(r.matches, expect, "{} disagrees", r.engine);
+            assert!(r.ms > 0.0, "{} has zero time", r.engine);
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Incremental cache maintenance (extension beyond the paper).
+//!
+//! GCSM re-packs and re-ships the whole DCSR every batch. When consecutive
+//! batches select overlapping vertex sets — common, because hot regions
+//! persist — much of that DMA is redundant. [`DeltaPlanner`] diffs the new
+//! selection against what is already resident and produces the minimal
+//! transfer plan: rows to add, rows to drop, and rows whose lists changed
+//! (their vertex was updated this batch) and must be re-sent.
+//!
+//! The ablation bench (`cache_delta` in `gcsm-bench`) quantifies the DMA
+//! saved. Correctness is unaffected: the packed result is byte-identical
+//! to a fresh pack (tested below), so the matcher sees the same cache.
+
+use crate::Dcsr;
+use gcsm_graph::{DynamicGraph, VertexId};
+
+/// A minimal-transfer plan between two consecutive cache generations.
+#[derive(Clone, Debug, Default)]
+pub struct DeltaPlan {
+    /// Vertices newly selected (their lists must be shipped).
+    pub add: Vec<VertexId>,
+    /// Previously cached vertices no longer selected.
+    pub drop: Vec<VertexId>,
+    /// Still-selected vertices whose lists changed this batch.
+    pub refresh: Vec<VertexId>,
+    /// Still-selected, unchanged vertices (no transfer needed).
+    pub keep: Vec<VertexId>,
+}
+
+impl DeltaPlan {
+    /// Diff `new_selection` (sorted) against `resident` (sorted) given the
+    /// batch's updated vertices (sorted).
+    pub fn diff(resident: &[VertexId], new_selection: &[VertexId], updated: &[VertexId]) -> Self {
+        let mut plan = DeltaPlan::default();
+        let (mut i, mut j) = (0, 0);
+        while i < resident.len() || j < new_selection.len() {
+            match (resident.get(i), new_selection.get(j)) {
+                (Some(&r), Some(&s)) if r == s => {
+                    if updated.binary_search(&r).is_ok() {
+                        plan.refresh.push(r);
+                    } else {
+                        plan.keep.push(r);
+                    }
+                    i += 1;
+                    j += 1;
+                }
+                (Some(&r), Some(&s)) if r < s => {
+                    plan.drop.push(r);
+                    i += 1;
+                }
+                (Some(_), Some(&s)) => {
+                    plan.add.push(s);
+                    j += 1;
+                }
+                (Some(&r), None) => {
+                    plan.drop.push(r);
+                    i += 1;
+                }
+                (None, Some(&s)) => {
+                    plan.add.push(s);
+                    j += 1;
+                }
+                (None, None) => unreachable!(),
+            }
+        }
+        plan
+    }
+
+    /// Bytes that must cross PCIe under this plan (added + refreshed rows).
+    pub fn transfer_bytes(&self, graph: &DynamicGraph) -> usize {
+        self.add
+            .iter()
+            .chain(&self.refresh)
+            .map(|&v| graph.list_bytes(v))
+            .sum()
+    }
+
+    /// Fraction of the full-pack volume this plan avoids.
+    pub fn savings(&self, graph: &DynamicGraph, full_selection: &[VertexId]) -> f64 {
+        let full: usize = full_selection.iter().map(|&v| graph.list_bytes(v)).sum();
+        if full == 0 {
+            return 0.0;
+        }
+        1.0 - self.transfer_bytes(graph) as f64 / full as f64
+    }
+}
+
+/// Stateful incremental cache builder.
+#[derive(Default)]
+pub struct DeltaPlanner {
+    resident: Vec<VertexId>,
+}
+
+impl DeltaPlanner {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Currently resident rows.
+    pub fn resident(&self) -> &[VertexId] {
+        &self.resident
+    }
+
+    /// Plan the transfer for `selection`, rebuild the (logical) cache, and
+    /// report the plan. The returned [`Dcsr`] equals a fresh pack of
+    /// `selection`; the plan tells the caller how many bytes actually need
+    /// shipping.
+    pub fn update(
+        &mut self,
+        graph: &DynamicGraph,
+        selection: &[VertexId],
+    ) -> (Dcsr, DeltaPlan) {
+        let plan = DeltaPlan::diff(&self.resident, selection, graph.updated_vertices());
+        let dcsr = Dcsr::pack(graph, selection);
+        self.resident = selection.to_vec();
+        (dcsr, plan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcsm_graph::{CsrGraph, EdgeUpdate};
+
+    fn sealed(edges: &[(u32, u32)], batch: &[EdgeUpdate]) -> DynamicGraph {
+        let mut g = DynamicGraph::from_csr(&CsrGraph::from_edges(8, edges));
+        g.apply_batch(batch);
+        g
+    }
+
+    #[test]
+    fn diff_partitions_correctly() {
+        let plan = DeltaPlan::diff(&[1, 2, 3, 5], &[2, 3, 4, 6], &[3, 4]);
+        assert_eq!(plan.drop, vec![1, 5]);
+        assert_eq!(plan.add, vec![4, 6]);
+        assert_eq!(plan.refresh, vec![3]);
+        assert_eq!(plan.keep, vec![2]);
+    }
+
+    #[test]
+    fn empty_to_full_ships_everything() {
+        let g = sealed(&[(0, 1), (1, 2)], &[EdgeUpdate::insert(2, 3)]);
+        let plan = DeltaPlan::diff(&[], &[1, 2], g.updated_vertices());
+        assert_eq!(plan.add, vec![1, 2]);
+        assert_eq!(plan.transfer_bytes(&g), g.list_bytes(1) + g.list_bytes(2));
+        assert_eq!(plan.savings(&g, &[1, 2]), 0.0);
+    }
+
+    #[test]
+    fn stable_selection_ships_only_updates() {
+        let g = sealed(&[(0, 1), (1, 2), (2, 3)], &[EdgeUpdate::insert(1, 3)]);
+        // updated vertices: 1 and 3
+        let plan = DeltaPlan::diff(&[0, 1, 2], &[0, 1, 2], g.updated_vertices());
+        assert_eq!(plan.keep, vec![0, 2]);
+        assert_eq!(plan.refresh, vec![1]);
+        assert!(plan.add.is_empty() && plan.drop.is_empty());
+        assert!(plan.savings(&g, &[0, 1, 2]) > 0.0);
+    }
+
+    #[test]
+    fn planner_produces_identical_dcsr_to_fresh_pack() {
+        let g = sealed(&[(0, 1), (0, 2), (1, 2), (2, 3)], &[EdgeUpdate::insert(3, 4)]);
+        let selection = vec![0u32, 2, 3];
+        let mut planner = DeltaPlanner::new();
+        let (dcsr, plan) = planner.update(&g, &selection);
+        let fresh = Dcsr::pack(&g, &selection);
+        assert_eq!(dcsr.rowidx, fresh.rowidx);
+        assert_eq!(dcsr.rowptr, fresh.rowptr);
+        assert_eq!(dcsr.colidx, fresh.colidx);
+        assert_eq!(plan.add, selection);
+        assert_eq!(planner.resident(), &selection[..]);
+    }
+}

@@ -1,0 +1,59 @@
+//! Virtual address map for the unified-memory model.
+//!
+//! The UM page-cache model needs stable byte addresses for the neighbor
+//! lists: the paper's implementation allocates all lists in managed memory,
+//! so a list access faults in the 4 KiB pages covering it. We reproduce
+//! that by laying every vertex's raw list out in one virtual arena (prefix
+//! sums of list bytes) — the same layout a `cudaMallocManaged` bulk
+//! allocation would produce.
+
+use gcsm_graph::{DynamicGraph, VertexId};
+
+/// Byte base address per vertex list in the simulated managed arena.
+#[derive(Clone, Debug, Default)]
+pub struct AddrMap {
+    base: Vec<u64>,
+}
+
+impl AddrMap {
+    /// Build from the current raw list lengths.
+    pub fn build(graph: &DynamicGraph) -> Self {
+        let n = graph.num_vertices();
+        let mut base = Vec::with_capacity(n);
+        let mut acc = 0u64;
+        for v in 0..n as VertexId {
+            base.push(acc);
+            acc += graph.list_bytes(v) as u64;
+        }
+        Self { base }
+    }
+
+    /// Base address of vertex `v`'s list.
+    #[inline]
+    pub fn addr(&self, v: VertexId) -> u64 {
+        self.base[v as usize]
+    }
+
+    /// Total arena size.
+    pub fn arena_bytes(&self) -> u64 {
+        self.base.last().copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcsm_graph::CsrGraph;
+
+    #[test]
+    fn addresses_are_contiguous_prefix_sums() {
+        let g0 = CsrGraph::from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2)]);
+        let mut g = DynamicGraph::from_csr(&g0);
+        g.begin_batch();
+        g.seal_batch();
+        let m = AddrMap::build(&g);
+        assert_eq!(m.addr(0), 0);
+        assert_eq!(m.addr(1), g.list_bytes(0) as u64);
+        assert_eq!(m.addr(2), (g.list_bytes(0) + g.list_bytes(1)) as u64);
+    }
+}

@@ -1,0 +1,112 @@
+//! The evaluated systems.
+//!
+//! | Engine | Paper role | Data policy |
+//! |---|---|---|
+//! | [`GcsmEngine`] | the contribution | random-walk-selected DCSR cache, zero-copy fallback |
+//! | [`ZeroCopyEngine`] | naive GPU (ZP) | everything zero-copy from CPU |
+//! | [`UnifiedMemEngine`] | naive GPU (UM) | everything through unified memory |
+//! | [`VsgmEngine`] | prior work \[20\] | copy all k-hop lists, then device-only |
+//! | [`NaiveDegreeEngine`] | naive cache | GCSM's cache with degree ranking |
+//! | [`CpuWcojEngine`] | CPU baseline | host memory, 32-thread WCOJ |
+//! | [`RapidFlowEngine`] | prior work \[15\] | host memory + candidate index |
+//!
+//! All engines produce identical `ΔM` on identical sealed batches (enforced
+//! by the integration suite); they differ only in traffic and therefore in
+//! simulated time.
+
+mod cpu;
+mod gcsm_engine;
+mod naive;
+mod rapidflow;
+mod recompute;
+mod unified;
+mod vsgm;
+mod zerocopy;
+
+pub use cpu::CpuWcojEngine;
+pub use gcsm_engine::GcsmEngine;
+pub use naive::NaiveDegreeEngine;
+pub use rapidflow::RapidFlowEngine;
+pub use recompute::RecomputeEngine;
+pub use unified::UnifiedMemEngine;
+pub use vsgm::VsgmEngine;
+pub use zerocopy::ZeroCopyEngine;
+
+use crate::config::EngineConfig;
+use crate::result::BatchResult;
+use gcsm_graph::{DynamicGraph, EdgeUpdate};
+use gcsm_gpusim::Device;
+use gcsm_pattern::QueryGraph;
+
+/// A continuous-subgraph-matching system under evaluation.
+///
+/// The pipeline owns the dynamic graph and the batch lifecycle; engines see
+/// the *sealed* graph (old and new views live) plus the applied updates and
+/// return the measured [`BatchResult`]. Reorganisation happens after the
+/// engine returns, matching the paper's ordering ("the graph reorganization
+/// on CPU is conducted after the matching is completed on the GPU").
+pub trait Engine {
+    /// Display name used in figures ("GCSM", "ZP", ...).
+    fn name(&self) -> &'static str;
+
+    /// The engine's configuration (the pipeline uses its cost constants).
+    fn config(&self) -> &EngineConfig;
+
+    /// Match one sealed batch.
+    fn match_sealed(
+        &mut self,
+        graph: &DynamicGraph,
+        batch: &[EdgeUpdate],
+        query: &QueryGraph,
+    ) -> BatchResult;
+}
+
+/// Shared scaffolding: snapshot bracketing and result assembly.
+pub(crate) struct Measurer<'a> {
+    device: &'a Device,
+    cfg: &'a EngineConfig,
+    start: gcsm_gpusim::TrafficSnapshot,
+    wall_start: std::time::Instant,
+}
+
+impl<'a> Measurer<'a> {
+    pub(crate) fn begin(device: &'a Device, cfg: &'a EngineConfig) -> Self {
+        Self { device, cfg, start: device.snapshot(), wall_start: std::time::Instant::now() }
+    }
+
+    /// Simulated seconds of the traffic accumulated since the last call
+    /// (also re-arms the snapshot).
+    pub(crate) fn lap(&mut self) -> f64 {
+        let now = self.device.snapshot();
+        let interval = now - self.start;
+        self.start = now;
+        gcsm_gpusim::SimBreakdown::from_traffic(&interval, &self.cfg.gpu).total()
+    }
+
+    /// Assemble the result from the overall interval.
+    pub(crate) fn finish(
+        self,
+        name: &str,
+        stats: gcsm_matcher::MatchStats,
+        phases: crate::result::PhaseBreakdown,
+        cached_bytes: usize,
+        aux_bytes: usize,
+        overall_start: gcsm_gpusim::TrafficSnapshot,
+    ) -> BatchResult {
+        let traffic = self.device.snapshot() - overall_start;
+        let sim = gcsm_gpusim::SimBreakdown::from_traffic(&traffic, &self.cfg.gpu);
+        BatchResult {
+            engine: name.to_string(),
+            matches: stats.matches,
+            phases,
+            cpu_access_bytes: traffic.cpu_access_bytes(self.cfg.gpu.um_page),
+            cache_hit_rate: traffic.cache_hit_rate(),
+            traffic,
+            sim,
+            wall_seconds: self.wall_start.elapsed().as_secs_f64(),
+            cached_bytes,
+            stats,
+            aux_bytes,
+        }
+    }
+}

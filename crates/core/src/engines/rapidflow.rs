@@ -1,0 +1,129 @@
+//! RF — the RapidFlow-like CPU comparator (Fig. 14).
+//!
+//! Wraps `gcsm_baselines::RapidFlow`: a per-pattern-vertex candidate index
+//! plus cardinality-optimized matching orders. Index construction (first
+//! batch) and per-batch maintenance are charged as CPU work; the index's
+//! memory footprint is reported via `aux_bytes` — the quantity that makes
+//! the real RapidFlow crash on the paper's billion-edge graphs.
+
+use super::{Engine, Measurer};
+use crate::config::EngineConfig;
+use crate::result::{BatchResult, PhaseBreakdown};
+use gcsm_baselines::RapidFlow;
+use gcsm_graph::{DynamicGraph, EdgeUpdate};
+use gcsm_gpusim::Device;
+use gcsm_pattern::QueryGraph;
+
+/// The RapidFlow-like engine.
+pub struct RapidFlowEngine {
+    cfg: EngineConfig,
+    device: Device,
+    inner: Option<RapidFlow>,
+}
+
+impl RapidFlowEngine {
+    pub fn new(cfg: EngineConfig) -> Self {
+        let device = Device::new(cfg.gpu);
+        Self { cfg, device, inner: None }
+    }
+
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    /// Candidate-index footprint after the last batch, bytes.
+    pub fn index_bytes(&self) -> usize {
+        self.inner.as_ref().map_or(0, RapidFlow::index_bytes)
+    }
+}
+
+impl Engine for RapidFlowEngine {
+    fn name(&self) -> &'static str {
+        "RF"
+    }
+
+    fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    fn match_sealed(
+        &mut self,
+        graph: &DynamicGraph,
+        batch: &[EdgeUpdate],
+        query: &QueryGraph,
+    ) -> BatchResult {
+        let overall = self.device.snapshot();
+        let mut m = Measurer::begin(&self.device, &self.cfg);
+        let mut phases = PhaseBreakdown::default();
+
+        // Index construction / maintenance, charged as CPU streaming work
+        // over the index bytes plus one filter op per (vertex, qvertex).
+        let maintenance_items;
+        match &mut self.inner {
+            None => {
+                self.inner =
+                    Some(RapidFlow::new(query.clone(), graph, self.cfg.plan));
+                maintenance_items = graph.num_vertices() * query.num_vertices();
+            }
+            Some(rf) => {
+                rf.update_index(graph);
+                maintenance_items = graph.updated_vertices().len() * query.num_vertices();
+            }
+        }
+        let rf = self.inner.as_ref().expect("index built");
+        phases.update = maintenance_items as f64 * self.cfg.gpu.cpu_op_cost
+            + rf.index_bytes() as f64 / self.cfg.gpu.cpu_mem_bandwidth / 8.0;
+
+        let stats = rf.match_batch(graph, batch);
+        self.device.cpu_ops(stats.intersect_ops);
+        phases.matching = m.lap();
+
+        let index_bytes = rf.index_bytes();
+        m.finish(self.name(), stats, phases, 0, index_bytes, overall)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engines::CpuWcojEngine;
+    use gcsm_graph::CsrGraph;
+    use gcsm_pattern::queries;
+
+    #[test]
+    fn rf_agrees_with_cpu_and_reports_index_memory() {
+        let g0 = CsrGraph::from_edges(
+            10,
+            &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7), (7, 8), (8, 9)],
+        );
+        let batch = vec![EdgeUpdate::insert(3, 5), EdgeUpdate::delete(0, 1)];
+
+        let mut g1 = DynamicGraph::from_csr(&g0);
+        let s1 = g1.apply_batch(&batch);
+        let mut rf = RapidFlowEngine::new(EngineConfig::default());
+        let rr = rf.match_sealed(&g1, &s1.applied, &queries::triangle());
+
+        let mut g2 = DynamicGraph::from_csr(&g0);
+        let s2 = g2.apply_batch(&batch);
+        let mut cpu = CpuWcojEngine::new(EngineConfig::default());
+        let rc = cpu.match_sealed(&g2, &s2.applied, &queries::triangle());
+
+        assert_eq!(rr.matches, rc.matches);
+        assert!(rr.aux_bytes > 0, "index memory must be reported");
+        assert_eq!(rf.index_bytes(), rr.aux_bytes);
+    }
+
+    #[test]
+    fn index_persists_across_batches() {
+        let g0 = CsrGraph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
+        let mut g = DynamicGraph::from_csr(&g0);
+        let mut rf = RapidFlowEngine::new(EngineConfig::default());
+        let q = queries::triangle();
+        for round in 0..3u32 {
+            let s = g.apply_batch(&[EdgeUpdate::insert(round, round + 2)]);
+            let r = rf.match_sealed(&g, &s.applied, &q);
+            g.reorganize();
+            assert!(r.matches >= 0);
+        }
+    }
+}

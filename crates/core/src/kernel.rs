@@ -1,0 +1,215 @@
+//! The shared "GPU kernel": incremental matching over a batch, executed on
+//! the simulated grid.
+//!
+//! Every GPU engine (GCSM, ZP, UM, VSGM, Naive) runs this exact function —
+//! the STMatch-adapted kernel of Sec. V-C — against a different
+//! [`gcsm_matcher::NeighborSource`]. The seed tasks (plan × batch edge ×
+//! orientation) map to thread blocks; rayon's work stealing stands in for
+//! STMatch's inter-block stealing. Compute is charged to the device as
+//! `gpu_ops`.
+
+use crate::config::EngineConfig;
+use gcsm_graph::EdgeUpdate;
+use gcsm_gpusim::Device;
+use gcsm_matcher::{
+    delta_seeds, match_from_seed, match_from_seed_stack, EnumeratorKind, MatchStats,
+    NeighborSource, Scratch, StackScratch,
+};
+use gcsm_pattern::{compile_incremental, QueryGraph};
+use rayon::prelude::*;
+
+/// Outcome of one kernel launch: aggregate stats plus the grid's
+/// load-imbalance factor (`makespan / ideal` over the configured blocks and
+/// scheduling policy — see [`gcsm_gpusim::schedule`]).
+pub struct KernelRun {
+    pub stats: MatchStats,
+    pub imbalance: f64,
+}
+
+/// Run the incremental matching kernel. The intersect work is charged to
+/// `device` as GPU compute and one kernel launch is recorded; the returned
+/// imbalance factor tells the engine how much to stretch the kernel's time
+/// for the scheduling policy in effect.
+pub fn run_gpu_kernel<S: NeighborSource>(
+    device: &Device,
+    src: &S,
+    q: &QueryGraph,
+    batch: &[EdgeUpdate],
+    cfg: &EngineConfig,
+) -> KernelRun {
+    let plans = compile_incremental(q, cfg.plan);
+    run_gpu_kernel_with_plans(device, src, &plans, batch, cfg)
+}
+
+/// Like [`run_gpu_kernel`], but with caller-supplied delta plans (used by
+/// the optimized-ordering mode, which compiles cardinality-scored plans).
+pub fn run_gpu_kernel_with_plans<S: NeighborSource>(
+    device: &Device,
+    src: &S,
+    plans: &[gcsm_pattern::MatchPlan],
+    batch: &[EdgeUpdate],
+    cfg: &EngineConfig,
+) -> KernelRun {
+    device.traffic().add_kernel_launches(1);
+
+    // Per-task cost vector (intersect ops + list accesses as a proxy for
+    // the task's memory time) for the load-balance model.
+    let tasks = delta_seeds(plans, batch);
+    let run_task = |rs: &mut Scratch, ss: &mut StackScratch, pi: usize, a, b, sign| match cfg
+        .enumerator
+    {
+        EnumeratorKind::Recursive => {
+            match_from_seed(src, &plans[pi], a, b, sign, cfg.algo, rs, &mut |_, _| {})
+        }
+        EnumeratorKind::Stack => {
+            match_from_seed_stack(src, &plans[pi], a, b, sign, cfg.algo, ss, &mut |_, _| {})
+        }
+    };
+    let per_task: Vec<(MatchStats, u64)> = if cfg.parallel_kernel {
+        tasks
+            .par_iter()
+            .map_init(
+                || (Scratch::default(), StackScratch::default()),
+                |(rs, ss), &(pi, a, b, sign)| {
+                    let s = run_task(rs, ss, pi, a, b, sign);
+                    let cost = s.intersect_ops + s.list_accesses;
+                    (s, cost)
+                },
+            )
+            .collect()
+    } else {
+        let mut rs = Scratch::default();
+        let mut ss = StackScratch::default();
+        tasks
+            .iter()
+            .map(|&(pi, a, b, sign)| {
+                let s = run_task(&mut rs, &mut ss, pi, a, b, sign);
+                let cost = s.intersect_ops + s.list_accesses;
+                (s, cost)
+            })
+            .collect()
+    };
+    let costs: Vec<u64> = per_task.iter().map(|(_, c)| *c).collect();
+    let imbalance =
+        gcsm_gpusim::imbalance_factor(&costs, cfg.gpu.num_blocks, cfg.scheduling);
+    let stats = per_task.into_iter().map(|(s, _)| s).sum::<MatchStats>();
+    device.gpu_ops(stats.intersect_ops);
+    KernelRun { stats, imbalance }
+}
+
+/// Static (from-scratch) matching on the simulated GPU: seed the static
+/// plan on every graph edge. The paper's focus is incremental matching
+/// (prior work already mapped Fig. 2a onto GPUs \[8\]\[9\]\[19\]); this
+/// entry point computes the initial result `M(G_0)` under the same traffic
+/// model, so a deployment can bootstrap counts before streaming.
+pub fn run_gpu_kernel_static<S: NeighborSource>(
+    device: &Device,
+    src: &S,
+    q: &QueryGraph,
+    edges: &[(gcsm_graph::VertexId, gcsm_graph::VertexId)],
+    cfg: &EngineConfig,
+) -> KernelRun {
+    let plan = gcsm_pattern::compile_static(q, cfg.plan);
+    device.traffic().add_kernel_launches(1);
+    let per_task: Vec<(MatchStats, u64)> = edges
+        .par_iter()
+        .map_init(
+            || (Scratch::default(), StackScratch::default()),
+            |(rs, ss), &(u, v)| {
+                let mut acc = MatchStats::default();
+                for (a, b) in [(u, v), (v, u)] {
+                    let s = match cfg.enumerator {
+                        EnumeratorKind::Recursive => {
+                            match_from_seed(src, &plan, a, b, 1, cfg.algo, rs, &mut |_, _| {})
+                        }
+                        EnumeratorKind::Stack => match_from_seed_stack(
+                            src, &plan, a, b, 1, cfg.algo, ss, &mut |_, _| {},
+                        ),
+                    };
+                    acc.merge(s);
+                }
+                let cost = acc.intersect_ops + acc.list_accesses;
+                (acc, cost)
+            },
+        )
+        .collect();
+    let costs: Vec<u64> = per_task.iter().map(|(_, c)| *c).collect();
+    let imbalance = gcsm_gpusim::imbalance_factor(&costs, cfg.gpu.num_blocks, cfg.scheduling);
+    let stats = per_task.into_iter().map(|(s, _)| s).sum::<MatchStats>();
+    device.gpu_ops(stats.intersect_ops);
+    KernelRun { stats, imbalance }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sources::ZeroCopySource;
+    use gcsm_graph::{CsrGraph, DynamicGraph};
+    use gcsm_gpusim::GpuConfig;
+    use gcsm_pattern::queries;
+
+    #[test]
+    fn kernel_counts_and_charges() {
+        let g0 = CsrGraph::from_edges(5, &[(0, 1), (1, 2), (0, 2), (2, 3)]);
+        let mut g = DynamicGraph::from_csr(&g0);
+        let batch = vec![EdgeUpdate::insert(1, 3)];
+        let summary = g.apply_batch(&batch);
+        let device = Device::new(GpuConfig::default());
+        let src = ZeroCopySource { graph: &g, device: &device };
+        let cfg = EngineConfig::default();
+        let run =
+            run_gpu_kernel(&device, &src, &queries::triangle(), &summary.applied, &cfg);
+        assert_eq!(run.stats.matches, 6); // one new triangle (1,2,3) × |Aut|=6
+        assert!(run.imbalance >= 1.0);
+        let t = device.snapshot();
+        assert_eq!(t.gpu_ops, run.stats.intersect_ops);
+        assert_eq!(t.kernel_launches, 1);
+        assert!(t.zerocopy_bytes > 0);
+    }
+
+    #[test]
+    fn static_kernel_counts_whole_graph() {
+        // K4: 4 triangles × 6 embeddings = 24.
+        let g0 = CsrGraph::from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+        let mut g = DynamicGraph::from_csr(&g0);
+        g.begin_batch();
+        g.seal_batch();
+        let device = Device::new(GpuConfig::default());
+        let src = ZeroCopySource { graph: &g, device: &device };
+        let edges: Vec<_> = g0.edges().collect();
+        let run = run_gpu_kernel_static(
+            &device,
+            &src,
+            &queries::triangle(),
+            &edges,
+            &EngineConfig::default(),
+        );
+        assert_eq!(run.stats.matches, 24);
+        assert!(run.imbalance >= 1.0);
+        assert!(device.snapshot().zerocopy_bytes > 0);
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let g0 = CsrGraph::from_edges(8, &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5), (5, 6)]);
+        let mut g = DynamicGraph::from_csr(&g0);
+        let batch = vec![EdgeUpdate::insert(2, 4), EdgeUpdate::delete(0, 1)];
+        let summary = g.apply_batch(&batch);
+        let dev_a = Device::new(GpuConfig::default());
+        let dev_b = Device::new(GpuConfig::default());
+        let q = queries::triangle();
+        let sa = {
+            let src = ZeroCopySource { graph: &g, device: &dev_a };
+            run_gpu_kernel(&dev_a, &src, &q, &summary.applied, &EngineConfig::default())
+        };
+        let sb = {
+            let src = ZeroCopySource { graph: &g, device: &dev_b };
+            let cfg = EngineConfig { parallel_kernel: false, ..EngineConfig::default() };
+            run_gpu_kernel(&dev_b, &src, &q, &summary.applied, &cfg)
+        };
+        assert_eq!(sa.stats.matches, sb.stats.matches);
+        assert_eq!(sa.stats.intersect_ops, sb.stats.intersect_ops);
+        assert!((sa.imbalance - sb.imbalance).abs() < 1e-9);
+        assert_eq!(dev_a.snapshot().zerocopy_bytes, dev_b.snapshot().zerocopy_bytes);
+    }
+}

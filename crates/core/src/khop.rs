@@ -1,0 +1,101 @@
+//! k-hop neighborhood extraction for the VSGM baseline.
+//!
+//! VSGM \[20\] copies the neighbor lists of *all* vertices within `k` hops of
+//! the updated edges onto the GPU before matching, where `k` is the query
+//! diameter — the guarantee that the kernel never touches CPU memory. We
+//! traverse the union of the old and new views so deletion-side matches
+//! (which live in the pre-batch graph) are covered too.
+
+use gcsm_graph::{DynamicGraph, EdgeUpdate, VertexId};
+
+/// All vertices within `k` hops of the batch's endpoints, sorted ascending
+/// (ready to be a DCSR `rowidx`).
+pub fn khop_vertices(graph: &DynamicGraph, batch: &[EdgeUpdate], k: usize) -> Vec<VertexId> {
+    let n = graph.num_vertices();
+    let mut seen = vec![false; n];
+    let mut frontier: Vec<VertexId> = Vec::new();
+    for u in batch {
+        for v in [u.src, u.dst] {
+            if (v as usize) < n && !seen[v as usize] {
+                seen[v as usize] = true;
+                frontier.push(v);
+            }
+        }
+    }
+    for _ in 0..k {
+        let mut next = Vec::new();
+        for &v in &frontier {
+            for w in graph.old_view(v).iter_sorted().chain(graph.new_view(v).iter_sorted()) {
+                if !seen[w as usize] {
+                    seen[w as usize] = true;
+                    next.push(w);
+                }
+            }
+        }
+        if next.is_empty() {
+            break;
+        }
+        frontier = next;
+    }
+    let mut out: Vec<VertexId> =
+        seen.iter().enumerate().filter(|(_, &s)| s).map(|(i, _)| i as VertexId).collect();
+    out.sort_unstable();
+    out
+}
+
+/// Total raw bytes the k-hop lists occupy (the VSGM copy volume).
+pub fn khop_bytes(graph: &DynamicGraph, vertices: &[VertexId]) -> usize {
+    vertices.iter().map(|&v| graph.list_bytes(v)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcsm_graph::CsrGraph;
+
+    fn path_graph() -> DynamicGraph {
+        // 0-1-2-3-4-5 path.
+        let g0 = CsrGraph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
+        let mut g = DynamicGraph::from_csr(&g0);
+        g.begin_batch();
+        g.seal_batch();
+        g
+    }
+
+    #[test]
+    fn hop_zero_is_endpoints_only() {
+        let g = path_graph();
+        let batch = vec![EdgeUpdate::insert(2, 3)];
+        assert_eq!(khop_vertices(&g, &batch, 0), vec![2, 3]);
+    }
+
+    #[test]
+    fn hops_expand_breadth_first() {
+        let g = path_graph();
+        let batch = vec![EdgeUpdate::insert(2, 3)];
+        assert_eq!(khop_vertices(&g, &batch, 1), vec![1, 2, 3, 4]);
+        assert_eq!(khop_vertices(&g, &batch, 2), vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(khop_vertices(&g, &batch, 5), vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn deleted_edges_still_traversed() {
+        let g0 = CsrGraph::from_edges(3, &[(0, 1), (1, 2)]);
+        let mut g = DynamicGraph::from_csr(&g0);
+        g.begin_batch();
+        g.apply(EdgeUpdate::delete(1, 2));
+        let summary = g.seal_batch();
+        // Vertex 2 is only reachable over the deleted edge; the old view
+        // must carry the BFS there.
+        let hops = khop_vertices(&g, &summary.applied, 1);
+        assert!(hops.contains(&2));
+        assert!(hops.contains(&0));
+    }
+
+    #[test]
+    fn bytes_sum_lists() {
+        let g = path_graph();
+        let vs = vec![1u32, 2];
+        assert_eq!(khop_bytes(&g, &vs), g.list_bytes(1) + g.list_bytes(2));
+    }
+}

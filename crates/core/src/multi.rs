@@ -1,0 +1,172 @@
+//! Multi-query processing: register several patterns over one stream.
+//!
+//! Production CSM deployments monitor many patterns at once (the paper's
+//! motivating scenarios — rumor shapes, laundering patterns — are query
+//! *sets*). Re-running the whole pipeline per query would repeat the graph
+//! update and reorganisation work; [`MultiPipeline`] shares steps 1 and 5
+//! of Fig. 3 across all registered queries and invokes each query's engine
+//! on the same sealed batch.
+
+use crate::engines::Engine;
+use crate::result::BatchResult;
+use gcsm_graph::{CsrGraph, DynamicGraph, EdgeUpdate};
+use gcsm_pattern::QueryGraph;
+
+/// A registered query with its engine.
+struct Registered {
+    query: QueryGraph,
+    engine: Box<dyn Engine>,
+}
+
+/// Pipeline over one dynamic graph and many (query, engine) pairs.
+pub struct MultiPipeline {
+    graph: DynamicGraph,
+    queries: Vec<Registered>,
+}
+
+/// Per-query outcome of one batch.
+pub struct MultiBatchResult {
+    /// Query name → result, in registration order.
+    pub per_query: Vec<(String, BatchResult)>,
+}
+
+impl MultiBatchResult {
+    /// Net `ΔM` summed over all queries (rarely meaningful; per-query
+    /// results are the point).
+    pub fn total_matches(&self) -> i64 {
+        self.per_query.iter().map(|(_, r)| r.matches).sum()
+    }
+
+    /// Result for a named query.
+    pub fn get(&self, name: &str) -> Option<&BatchResult> {
+        self.per_query.iter().find(|(n, _)| n == name).map(|(_, r)| r)
+    }
+}
+
+impl MultiPipeline {
+    /// Pipeline over an initial snapshot.
+    pub fn new(initial: CsrGraph) -> Self {
+        Self { graph: DynamicGraph::from_csr(&initial), queries: Vec::new() }
+    }
+
+    /// Register a query with its own engine. Returns `self` for chaining.
+    pub fn register(mut self, query: QueryGraph, engine: Box<dyn Engine>) -> Self {
+        self.queries.push(Registered { query, engine });
+        self
+    }
+
+    /// Number of registered queries.
+    pub fn num_queries(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// The current graph.
+    pub fn graph(&self) -> &DynamicGraph {
+        &self.graph
+    }
+
+    /// Process one batch for every registered query: one update, one
+    /// reorganisation, `k` matching invocations.
+    pub fn process_batch(&mut self, updates: &[EdgeUpdate]) -> MultiBatchResult {
+        // Step 1 (shared).
+        self.graph.begin_batch();
+        for &u in updates {
+            self.graph.apply(u);
+        }
+        let summary = self.graph.seal_batch();
+        let cpu_bw = self
+            .queries
+            .first()
+            .map(|r| r.engine.config().gpu.cpu_mem_bandwidth)
+            .unwrap_or(25.0e9);
+        let touched_bytes: usize =
+            self.graph.updated_vertices().iter().map(|&v| self.graph.list_bytes(v)).sum();
+        let update_sim = touched_bytes as f64 / cpu_bw;
+
+        // Steps 2–4 per query.
+        let mut per_query = Vec::with_capacity(self.queries.len());
+        for reg in &mut self.queries {
+            let mut r = reg.engine.match_sealed(&self.graph, &summary.applied, &reg.query);
+            // The shared update cost is attributed once, to the first query.
+            if per_query.is_empty() {
+                r.phases.update += update_sim;
+            }
+            per_query.push((reg.query.name().to_string(), r));
+        }
+
+        // Step 5 (shared).
+        let reorg_bytes: usize =
+            self.graph.updated_vertices().iter().map(|&v| self.graph.list_bytes(v)).sum();
+        self.graph.reorganize();
+        if let Some((_, first)) = per_query.first_mut() {
+            first.phases.reorganize += 2.0 * reorg_bytes as f64 / cpu_bw;
+        }
+        MultiBatchResult { per_query }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EngineConfig;
+    use crate::engines::{CpuWcojEngine, GcsmEngine, ZeroCopyEngine};
+    use crate::pipeline::Pipeline;
+    use gcsm_pattern::queries;
+
+    fn setup() -> (CsrGraph, Vec<EdgeUpdate>) {
+        let g0 = CsrGraph::from_edges(7, &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5)]);
+        let batch = vec![
+            EdgeUpdate::insert(2, 4),
+            EdgeUpdate::insert(3, 5),
+            EdgeUpdate::delete(0, 1),
+        ];
+        (g0, batch)
+    }
+
+    #[test]
+    fn multi_matches_individual_pipelines() {
+        let (g0, batch) = setup();
+        let cfg = EngineConfig::default();
+        let mut multi = MultiPipeline::new(g0.clone())
+            .register(queries::triangle(), Box::new(GcsmEngine::new(cfg.clone())))
+            .register(queries::fig1_kite(), Box::new(ZeroCopyEngine::new(cfg.clone())))
+            .register(queries::q1(), Box::new(CpuWcojEngine::new(cfg.clone())));
+        assert_eq!(multi.num_queries(), 3);
+        let res = multi.process_batch(&batch);
+
+        for q in [queries::triangle(), queries::fig1_kite(), queries::q1()] {
+            let mut single = Pipeline::new(g0.clone(), q.clone());
+            let mut e = ZeroCopyEngine::new(cfg.clone());
+            let expect = single.process_batch(&mut e, &batch).matches;
+            assert_eq!(
+                res.get(q.name()).expect("registered").matches,
+                expect,
+                "{} diverges",
+                q.name()
+            );
+        }
+        assert!(multi.graph().updated_vertices().is_empty(), "reorganized once");
+    }
+
+    #[test]
+    fn streaming_multiple_batches() {
+        let (g0, batch) = setup();
+        let cfg = EngineConfig::default();
+        let mut multi = MultiPipeline::new(g0)
+            .register(queries::triangle(), Box::new(GcsmEngine::new(cfg.clone())));
+        let r1 = multi.process_batch(&batch);
+        let r2 = multi.process_batch(&[EdgeUpdate::insert(0, 1)]);
+        // Batch 2 restores triangle {0,1,2}.
+        assert_eq!(r2.per_query[0].1.matches, 6);
+        assert!(r1.total_matches() != 0 || r2.total_matches() != 0);
+    }
+
+    #[test]
+    fn empty_registration_is_fine() {
+        let (g0, batch) = setup();
+        let mut multi = MultiPipeline::new(g0);
+        let r = multi.process_batch(&batch);
+        assert!(r.per_query.is_empty());
+        assert_eq!(r.total_matches(), 0);
+    }
+}

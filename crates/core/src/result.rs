@@ -1,0 +1,111 @@
+//! Per-batch measurement record.
+
+use gcsm_gpusim::{SimBreakdown, TrafficSnapshot};
+use gcsm_matcher::MatchStats;
+
+/// Simulated seconds per workflow phase (the five steps of Fig. 3; the
+/// paper's Table II reports FE and DC as fractions of the total, Fig. 13
+/// splits DC vs Match, Table III isolates reorganisation).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PhaseBreakdown {
+    /// Step 1 — appending `ΔE` to the CPU lists.
+    pub update: f64,
+    /// Step 2 — random-walk frequency estimation ("FE").
+    pub freq_est: f64,
+    /// Step 3 — packing + DMA of the cache ("DC").
+    pub data_copy: f64,
+    /// Step 4 — the matching kernel.
+    pub matching: f64,
+    /// Step 5 — graph reorganisation on the CPU.
+    pub reorganize: f64,
+}
+
+impl PhaseBreakdown {
+    /// Total simulated seconds across phases.
+    pub fn total(&self) -> f64 {
+        self.update + self.freq_est + self.data_copy + self.matching + self.reorganize
+    }
+
+    /// FE overhead fraction (Table II).
+    pub fn fe_fraction(&self) -> f64 {
+        if self.total() == 0.0 {
+            0.0
+        } else {
+            self.freq_est / self.total()
+        }
+    }
+
+    /// DC overhead fraction (Table II).
+    pub fn dc_fraction(&self) -> f64 {
+        if self.total() == 0.0 {
+            0.0
+        } else {
+            self.data_copy / self.total()
+        }
+    }
+}
+
+/// Everything measured for one batch on one engine.
+#[derive(Clone, Debug, Default)]
+pub struct BatchResult {
+    /// Engine name ("GCSM", "ZP", ...).
+    pub engine: String,
+    /// Signed incremental match count `ΔM` (identical across engines).
+    pub matches: i64,
+    /// Simulated time per phase.
+    pub phases: PhaseBreakdown,
+    /// Traffic generated during the engine's own phases (excludes the
+    /// pipeline's update/reorganize, which are host-side).
+    pub traffic: TrafficSnapshot,
+    /// Cost-model components derived from `traffic`.
+    pub sim: SimBreakdown,
+    /// Wall-clock seconds actually spent (transparency metric — the
+    /// figures use simulated time; see DESIGN.md).
+    pub wall_seconds: f64,
+    /// Bytes the GPU read from CPU memory (bar labels of Fig. 8–10).
+    pub cpu_access_bytes: u64,
+    /// Cache hit rate over neighbor-list accesses (GCSM/VSGM/Naive).
+    pub cache_hit_rate: f64,
+    /// Bytes shipped to the device cache this batch.
+    pub cached_bytes: usize,
+    /// Raw matcher statistics.
+    pub stats: MatchStats,
+    /// Engine-specific auxiliary memory (e.g. RapidFlow's candidate index).
+    pub aux_bytes: usize,
+}
+
+impl BatchResult {
+    /// Total simulated milliseconds (the unit of the paper's figures).
+    pub fn total_ms(&self) -> f64 {
+        self.phases.total() * 1e3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fractions() {
+        let p = PhaseBreakdown {
+            update: 0.0,
+            freq_est: 1.0,
+            data_copy: 1.0,
+            matching: 7.0,
+            reorganize: 1.0,
+        };
+        assert!((p.total() - 10.0).abs() < 1e-12);
+        assert!((p.fe_fraction() - 0.1).abs() < 1e-12);
+        assert!((p.dc_fraction() - 0.1).abs() < 1e-12);
+        assert_eq!(PhaseBreakdown::default().fe_fraction(), 0.0);
+    }
+
+    #[test]
+    fn total_ms() {
+        let r = BatchResult {
+            phases: PhaseBreakdown { matching: 0.25, ..Default::default() },
+            ..Default::default()
+        };
+        assert!((r.total_ms() - 250.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,33 @@
+//! Erdős–Rényi G(n, m) generator — used by tests and property suites where
+//! an unstructured graph is wanted.
+
+use gcsm_graph::{CsrBuilder, CsrGraph, VertexId};
+use rand::{rngs::SmallRng, Rng, SeedableRng};
+
+/// Generate a G(n, m)-style random graph (m sampled pairs; duplicates and
+/// self loops dropped, so the realized count can be slightly lower).
+pub fn gnm(n: usize, m: usize, seed: u64) -> CsrGraph {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = CsrBuilder::new(n);
+    b.reserve(m);
+    for _ in 0..m {
+        let u = rng.gen_range(0..n) as VertexId;
+        let v = rng.gen_range(0..n) as VertexId;
+        b.add_edge(u, v);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_and_determinism() {
+        let g = gnm(100, 300, 5);
+        assert_eq!(g.num_vertices(), 100);
+        assert!(g.num_edges() > 250 && g.num_edges() <= 300);
+        let h = gnm(100, 300, 5);
+        assert_eq!(g.edges().collect::<Vec<_>>(), h.edges().collect::<Vec<_>>());
+    }
+}

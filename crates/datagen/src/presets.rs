@@ -1,0 +1,187 @@
+//! The seven Table-I datasets as synthetic presets.
+//!
+//! Each preset records the paper's actual statistics (for EXPERIMENTS.md's
+//! paper-vs-measured tables) and builds a laptop-scale stand-in with the
+//! same degree-shape class. `scale` multiplies the vertex count; average
+//! degree is held, so edges scale linearly.
+
+use crate::road::{self, RoadConfig};
+use crate::social::{self, SocialConfig};
+use gcsm_graph::CsrGraph;
+
+/// Table I of the paper (vertices, edges, max degree), for reference
+/// printing next to measured stats.
+#[derive(Clone, Copy, Debug)]
+pub struct PaperRow {
+    pub vertices: f64,
+    pub edges: f64,
+    pub max_degree: usize,
+    pub size_gb: f64,
+}
+
+/// The seven datasets of Table I.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Preset {
+    /// Amazon (AZ): 0.4 M vertices, 2.4 M edges, skewed.
+    Amazon,
+    /// RoadNetPA (PA): flat degrees (max 9).
+    RoadNetPA,
+    /// RoadNetCA (CA): flat degrees (max 12).
+    RoadNetCA,
+    /// LiveJournal (LJ): 3.1 M / 77 M, highly skewed.
+    LiveJournal,
+    /// Friendster (FR): 65.6 M / 3.6 B.
+    Friendster,
+    /// LDBC SF3K: 33.4 M / 5.8 B.
+    Sf3k,
+    /// LDBC SF10K: 100 M / 18.8 B.
+    Sf10k,
+}
+
+/// A built dataset.
+pub struct Dataset {
+    pub preset: Preset,
+    pub graph: CsrGraph,
+}
+
+impl Preset {
+    /// Short name as used in the paper's tables ("AZ", "PA", ...).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Preset::Amazon => "AZ",
+            Preset::RoadNetPA => "PA",
+            Preset::RoadNetCA => "CA",
+            Preset::LiveJournal => "LJ",
+            Preset::Friendster => "FR",
+            Preset::Sf3k => "SF3K",
+            Preset::Sf10k => "SF10K",
+        }
+    }
+
+    /// Look up a preset by its short name.
+    pub fn by_name(name: &str) -> Option<Preset> {
+        all_presets().into_iter().find(|p| p.name() == name)
+    }
+
+    /// True for the graphs with heavy-tailed degree distributions.
+    pub fn is_skewed(&self) -> bool {
+        !matches!(self, Preset::RoadNetPA | Preset::RoadNetCA)
+    }
+
+    /// The paper's Table-I row for this dataset.
+    pub fn paper_row(&self) -> PaperRow {
+        match self {
+            Preset::Amazon => PaperRow { vertices: 0.4e6, edges: 2.4e6, max_degree: 1367, size_gb: 0.019 },
+            Preset::RoadNetPA => PaperRow { vertices: 1.08e6, edges: 1.5e6, max_degree: 9, size_gb: 0.022 },
+            Preset::RoadNetCA => PaperRow { vertices: 1.96e6, edges: 2.7e6, max_degree: 12, size_gb: 0.037 },
+            Preset::LiveJournal => PaperRow { vertices: 3.1e6, edges: 77.1e6, max_degree: 18311, size_gb: 0.308 },
+            Preset::Friendster => PaperRow { vertices: 65.6e6, edges: 3612e6, max_degree: 5214, size_gb: 28.9 },
+            Preset::Sf3k => PaperRow { vertices: 33.4e6, edges: 5824e6, max_degree: 4328, size_gb: 46.4 },
+            Preset::Sf10k => PaperRow { vertices: 100.2e6, edges: 18809e6, max_degree: 4485, size_gb: 151.1 },
+        }
+    }
+
+    /// Base (scale = 1.0) synthetic dimensions: (log2 vertices for the
+    /// social generator or vertex count for roads, backbone average
+    /// degree). Sized so a 4096-edge batch's working set is a small
+    /// fraction of the graph — the out-of-core regime the paper evaluates.
+    fn base_shape(&self) -> (u32, usize) {
+        match self {
+            Preset::Amazon => (16, 6),       // 65 k vertices
+            Preset::RoadNetPA => (17, 0),    // ~131 k road vertices
+            Preset::RoadNetCA => (18, 0),    // ~262 k road vertices
+            Preset::LiveJournal => (17, 6),  // 131 k vertices
+            Preset::Friendster => (19, 6),   // 524 k vertices, ~2 M edges
+            Preset::Sf3k => (19, 8),         // 524 k vertices, ~2.7 M edges
+            Preset::Sf10k => (20, 8),        // 1 M vertices, ~5.4 M edges
+        }
+    }
+
+    /// Build the synthetic stand-in. `scale` multiplies the vertex count
+    /// (0.25 halves the R-MAT scale twice, etc.); pass 1.0 for the default
+    /// repro size. Deterministic per preset.
+    pub fn build_scaled(&self, scale: f64) -> Dataset {
+        assert!(scale > 0.0);
+        let (base, avg) = self.base_shape();
+        let shift = scale.log2().round() as i32;
+        let graph = match self {
+            Preset::RoadNetPA | Preset::RoadNetCA => {
+                let n = ((1usize << base) as f64 * scale).round() as usize;
+                road::generate(&RoadConfig::with_vertices(n.max(64), self.seed()))
+            }
+            _ => {
+                let s = (base as i32 + shift).clamp(8, 26) as u32;
+                social::generate_social(&SocialConfig::new(s, avg, self.seed()))
+            }
+        };
+        Dataset { preset: *self, graph }
+    }
+
+    /// Build at the default scale.
+    pub fn build(&self) -> Dataset {
+        self.build_scaled(1.0)
+    }
+
+    fn seed(&self) -> u64 {
+        match self {
+            Preset::Amazon => 0xA2,
+            Preset::RoadNetPA => 0x9A,
+            Preset::RoadNetCA => 0xCA,
+            Preset::LiveJournal => 0x17,
+            Preset::Friendster => 0xF2,
+            Preset::Sf3k => 0x3000,
+            Preset::Sf10k => 0xA000,
+        }
+    }
+}
+
+/// All presets in Table-I order.
+pub fn all_presets() -> Vec<Preset> {
+    vec![
+        Preset::Amazon,
+        Preset::RoadNetPA,
+        Preset::RoadNetCA,
+        Preset::LiveJournal,
+        Preset::Friendster,
+        Preset::Sf3k,
+        Preset::Sf10k,
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skew_classes_match_paper() {
+        let az = Preset::Amazon.build_scaled(0.25);
+        let pa = Preset::RoadNetPA.build_scaled(0.25);
+        let az_avg = 2.0 * az.graph.num_edges() as f64 / az.graph.num_vertices() as f64;
+        assert!(az.graph.max_degree() as f64 > 5.0 * az_avg, "AZ should be skewed");
+        assert!(pa.graph.max_degree() <= 12, "PA max degree {}", pa.graph.max_degree());
+    }
+
+    #[test]
+    fn names_roundtrip() {
+        for p in all_presets() {
+            assert_eq!(Preset::by_name(p.name()), Some(p));
+        }
+        assert_eq!(Preset::by_name("XX"), None);
+    }
+
+    #[test]
+    fn scaling_changes_size_monotonically() {
+        let small = Preset::LiveJournal.build_scaled(0.25);
+        let big = Preset::LiveJournal.build_scaled(0.5);
+        assert!(small.graph.num_vertices() < big.graph.num_vertices());
+        assert!(small.graph.num_edges() < big.graph.num_edges());
+    }
+
+    #[test]
+    fn deterministic_builds() {
+        let a = Preset::Amazon.build_scaled(0.25);
+        let b = Preset::Amazon.build_scaled(0.25);
+        assert_eq!(a.graph.num_edges(), b.graph.num_edges());
+        assert_eq!(a.graph.max_degree(), b.graph.max_degree());
+    }
+}

@@ -1,0 +1,83 @@
+//! Road-network-like generator: a 2-D lattice with random perturbations.
+//!
+//! The paper's RoadNetPA/CA have max degree 9/12 and essentially no skew —
+//! the regime where GCSM's caching must win on batch locality rather than
+//! hub reuse (Fig. 11). A jittered grid with occasional diagonal shortcuts
+//! and random road removals reproduces exactly that degree profile.
+
+use gcsm_graph::{CsrBuilder, CsrGraph, VertexId};
+use rand::{rngs::SmallRng, Rng, SeedableRng};
+
+/// Road-lattice parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct RoadConfig {
+    pub width: usize,
+    pub height: usize,
+    /// Probability a lattice edge is removed (dead ends, rivers).
+    pub removal: f64,
+    /// Probability a diagonal shortcut is added per cell.
+    pub diagonal: f64,
+    pub seed: u64,
+}
+
+impl RoadConfig {
+    /// Roughly `n` vertices in a square-ish grid.
+    pub fn with_vertices(n: usize, seed: u64) -> Self {
+        let w = (n as f64).sqrt().ceil() as usize;
+        Self { width: w, height: n.div_ceil(w.max(1)), removal: 0.08, diagonal: 0.05, seed }
+    }
+}
+
+/// Generate the road network.
+pub fn generate(config: &RoadConfig) -> CsrGraph {
+    let (w, h) = (config.width, config.height);
+    let n = w * h;
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let mut b = CsrBuilder::new(n);
+    let id = |x: usize, y: usize| (y * w + x) as VertexId;
+    for y in 0..h {
+        for x in 0..w {
+            if x + 1 < w && !rng.gen_bool(config.removal) {
+                b.add_edge(id(x, y), id(x + 1, y));
+            }
+            if y + 1 < h && !rng.gen_bool(config.removal) {
+                b.add_edge(id(x, y), id(x, y + 1));
+            }
+            if x + 1 < w && y + 1 < h && rng.gen_bool(config.diagonal) {
+                if rng.gen_bool(0.5) {
+                    b.add_edge(id(x, y), id(x + 1, y + 1));
+                } else {
+                    b.add_edge(id(x + 1, y), id(x, y + 1));
+                }
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degrees_are_flat_like_road_networks() {
+        let g = generate(&RoadConfig::with_vertices(10_000, 3));
+        assert!(g.max_degree() <= 8, "max degree {}", g.max_degree());
+        let avg = 2.0 * g.num_edges() as f64 / g.num_vertices() as f64;
+        assert!(avg > 1.5 && avg < 4.0, "avg {avg}");
+    }
+
+    #[test]
+    fn vertex_count_close_to_requested() {
+        let g = generate(&RoadConfig::with_vertices(5000, 1));
+        assert!(g.num_vertices() >= 5000);
+        assert!(g.num_vertices() < 5200);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate(&RoadConfig::with_vertices(400, 9));
+        let b = generate(&RoadConfig::with_vertices(400, 9));
+        assert_eq!(a.edges().collect::<Vec<_>>(), b.edges().collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,162 @@
+//! Update-stream construction (paper Sec. VI-A, "Datasets and query
+//! graphs").
+//!
+//! > "We generate dynamic graphs from static graphs. … we randomly select
+//! > \[edges\] from each data graph to construct the edge updates. Each
+//! > selected edge is marked as either insertion or deletion with equal
+//! > probability. The edges marked for insertion are removed from the data
+//! > graph."
+//!
+//! So the initial graph `G_0` = the static graph minus the insert-marked
+//! edges; the stream then inserts them back and deletes the delete-marked
+//! ones, in random order, batch by batch.
+
+use gcsm_graph::{CsrBuilder, CsrGraph, EdgeUpdate};
+use rand::{rngs::SmallRng, seq::SliceRandom, Rng, SeedableRng};
+
+/// How many edges to turn into updates.
+#[derive(Clone, Copy, Debug)]
+pub enum StreamConfig {
+    /// A fraction of the graph's edges (the paper uses 10% for AZ/LJ/PA/CA).
+    Fraction(f64),
+    /// A fixed count (the paper uses 12×8192 for FR/SF3K/SF10K).
+    Count(usize),
+}
+
+/// A generated dynamic-graph workload.
+pub struct UpdateStream {
+    /// `G_0`: the static graph minus the insert-marked edges.
+    pub initial: CsrGraph,
+    /// The update sequence (shuffled; each edge appears exactly once).
+    pub updates: Vec<EdgeUpdate>,
+}
+
+impl UpdateStream {
+    /// Build the stream from a static graph.
+    pub fn generate(graph: &CsrGraph, config: StreamConfig, seed: u64) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut edges: Vec<_> = graph.edges().collect();
+        let k = match config {
+            StreamConfig::Fraction(f) => ((edges.len() as f64) * f).round() as usize,
+            StreamConfig::Count(c) => c,
+        }
+        .min(edges.len());
+        edges.shuffle(&mut rng);
+        let (selected, kept) = edges.split_at(k);
+
+        let mut updates = Vec::with_capacity(k);
+        let mut initial = CsrBuilder::new(graph.num_vertices());
+        initial.reserve(kept.len() + k / 2);
+        for &(a, b) in kept {
+            initial.add_edge(a, b);
+        }
+        for &(a, b) in selected {
+            if rng.gen_bool(0.5) {
+                // Insert-marked: absent from G_0, inserted by the stream.
+                updates.push(EdgeUpdate::insert(a, b));
+            } else {
+                // Delete-marked: present in G_0, deleted by the stream.
+                initial.add_edge(a, b);
+                updates.push(EdgeUpdate::delete(a, b));
+            }
+        }
+        updates.shuffle(&mut rng);
+        let mut initial = initial.build();
+        // Preserve labels.
+        if graph.labels().iter().any(|&l| l != 0) {
+            let mut b = CsrBuilder::new(initial.num_vertices());
+            for (x, y) in initial.edges() {
+                b.add_edge(x, y);
+            }
+            b.set_labels(graph.labels().to_vec());
+            initial = b.build();
+        }
+        Self { initial, updates }
+    }
+
+    /// The stream chopped into batches of `batch_size` (last batch may be
+    /// short).
+    pub fn batches(&self, batch_size: usize) -> impl Iterator<Item = &[EdgeUpdate]> {
+        self.updates.chunks(batch_size)
+    }
+
+    /// Number of updates.
+    pub fn len(&self) -> usize {
+        self.updates.len()
+    }
+
+    /// True when the stream is empty.
+    pub fn is_empty(&self) -> bool {
+        self.updates.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::er::gnm;
+    use gcsm_graph::UpdateOp;
+
+    #[test]
+    fn protocol_invariants() {
+        let g = gnm(500, 3000, 11);
+        let s = UpdateStream::generate(&g, StreamConfig::Fraction(0.1), 42);
+        let k = s.updates.len();
+        assert!((k as f64 - g.num_edges() as f64 * 0.1).abs() < 2.0);
+        for u in &s.updates {
+            match u.op {
+                // Insert-marked edges were removed from G_0…
+                UpdateOp::Insert => assert!(!s.initial.has_edge(u.src, u.dst)),
+                // …delete-marked edges stayed in it.
+                UpdateOp::Delete => assert!(s.initial.has_edge(u.src, u.dst)),
+            }
+        }
+        // Roughly half and half.
+        let inserts = s.updates.iter().filter(|u| u.op == UpdateOp::Insert).count();
+        assert!(inserts > k / 4 && inserts < 3 * k / 4);
+    }
+
+    #[test]
+    fn no_duplicate_updates() {
+        let g = gnm(200, 1000, 3);
+        let s = UpdateStream::generate(&g, StreamConfig::Count(100), 5);
+        let mut seen = std::collections::HashSet::new();
+        for u in &s.updates {
+            assert!(seen.insert(u.canonical()), "duplicate {:?}", u);
+        }
+        assert_eq!(s.len(), 100);
+    }
+
+    #[test]
+    fn replaying_stream_restores_edge_count_delta() {
+        let g = gnm(100, 400, 9);
+        let s = UpdateStream::generate(&g, StreamConfig::Fraction(0.2), 21);
+        let mut dg = gcsm_graph::DynamicGraph::from_csr(&s.initial);
+        for batch in s.batches(16) {
+            let summary = dg.apply_batch(batch);
+            assert_eq!(summary.skipped, 0, "protocol guarantees clean application");
+            dg.reorganize();
+        }
+        let final_graph = dg.to_csr();
+        // Final graph = original minus delete-marked edges.
+        let deletes =
+            s.updates.iter().filter(|u| u.op == UpdateOp::Delete).count();
+        assert_eq!(final_graph.num_edges(), g.num_edges() - deletes);
+    }
+
+    #[test]
+    fn batching_covers_everything() {
+        let g = gnm(100, 500, 2);
+        let s = UpdateStream::generate(&g, StreamConfig::Count(50), 8);
+        let total: usize = s.batches(7).map(|b| b.len()).sum();
+        assert_eq!(total, 50);
+        assert_eq!(s.batches(7).count(), 8); // ceil(50/7)
+    }
+
+    #[test]
+    fn count_capped_at_edge_count() {
+        let g = gnm(20, 40, 1);
+        let s = UpdateStream::generate(&g, StreamConfig::Count(10_000), 2);
+        assert_eq!(s.len(), g.num_edges());
+    }
+}

@@ -1,0 +1,111 @@
+//! Shared estimator types.
+
+use gcsm_graph::VertexId;
+
+/// Walk configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct WalkParams {
+    /// Number of simulated walks `M` **per delta plan**. The paper sets
+    /// `M = |ΔE|·D^{n−2}/32^n` (Sec. VI-A); engines compute that via
+    /// [`crate::theory::recommended_walks`].
+    pub walks: u64,
+    /// RNG seed (runs are reproducible given the seed).
+    pub seed: u64,
+}
+
+impl Default for WalkParams {
+    fn default() -> Self {
+        Self { walks: 1024, seed: 0x9e3779b97f4a7c15 }
+    }
+}
+
+/// The estimation result.
+#[derive(Clone, Debug, Default)]
+pub struct FreqEstimate {
+    /// Estimated access frequency per vertex (`C̃_v` averaged over walks);
+    /// `0.0` for vertices never sampled. Length = number of graph vertices
+    /// (the paper's O(|V|) space).
+    pub freq: Vec<f64>,
+    /// Set-intersection element operations spent by the estimator — the
+    /// "FE" overhead of the paper's Table II, charged at CPU cost by the
+    /// engines.
+    pub walk_ops: u64,
+}
+
+impl FreqEstimate {
+    pub fn new(n: usize) -> Self {
+        Self { freq: vec![0.0; n], walk_ops: 0 }
+    }
+
+    /// Vertices with nonzero estimates, ranked by descending estimate
+    /// (ties by ascending id).
+    pub fn ranked(&self) -> Vec<(VertexId, f64)> {
+        let mut v: Vec<(VertexId, f64)> = self
+            .freq
+            .iter()
+            .enumerate()
+            .filter(|(_, &f)| f > 0.0)
+            .map(|(i, &f)| (i as VertexId, f))
+            .collect();
+        v.sort_unstable_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        v
+    }
+
+    /// Smallest nonzero estimate (the `C_y` plugged into the Eq. (5)
+    /// adaptivity check).
+    pub fn min_nonzero(&self) -> Option<f64> {
+        self.freq.iter().copied().filter(|&f| f > 0.0).fold(None, |acc, f| {
+            Some(acc.map_or(f, |a: f64| a.min(f)))
+        })
+    }
+
+    /// Merge another estimate (averaging handled by caller's weights).
+    pub fn add_assign(&mut self, other: &FreqEstimate) {
+        assert_eq!(self.freq.len(), other.freq.len());
+        for (a, b) in self.freq.iter_mut().zip(&other.freq) {
+            *a += b;
+        }
+        self.walk_ops += other.walk_ops;
+    }
+
+    /// Scale all estimates by `s` (used when averaging pooled runs).
+    pub fn scale(&mut self, s: f64) {
+        for f in &mut self.freq {
+            *f *= s;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranked_orders_descending() {
+        let mut e = FreqEstimate::new(4);
+        e.freq = vec![0.0, 5.0, 2.0, 5.0];
+        assert_eq!(e.ranked(), vec![(1, 5.0), (3, 5.0), (2, 2.0)]);
+        assert_eq!(e.min_nonzero(), Some(2.0));
+    }
+
+    #[test]
+    fn empty_estimate() {
+        let e = FreqEstimate::new(3);
+        assert!(e.ranked().is_empty());
+        assert_eq!(e.min_nonzero(), None);
+    }
+
+    #[test]
+    fn add_and_scale() {
+        let mut a = FreqEstimate::new(2);
+        a.freq = vec![1.0, 2.0];
+        a.walk_ops = 10;
+        let mut b = FreqEstimate::new(2);
+        b.freq = vec![3.0, 4.0];
+        b.walk_ops = 5;
+        a.add_assign(&b);
+        a.scale(0.5);
+        assert_eq!(a.freq, vec![2.0, 3.0]);
+        assert_eq!(a.walk_ops, 15);
+    }
+}

@@ -1,0 +1,131 @@
+//! Cache-set selection under a byte budget.
+//!
+//! GCSM caches the neighbor lists of the highest-estimated-frequency
+//! vertices, filling the GPU buffer greedily ("nodes with the highest
+//! estimated frequency are cached in the GPU buffer", Sec. VI-A). The
+//! *Naive* baseline uses the same mechanism with node degree as the
+//! frequency proxy — the policy the paper shows to be ineffective.
+
+use crate::estimate::FreqEstimate;
+use gcsm_graph::VertexId;
+
+/// A chosen cache set.
+#[derive(Clone, Debug, Default)]
+pub struct CacheSelection {
+    /// Selected vertices, sorted by ascending id (the DCSR `rowidx` order).
+    pub vertices: Vec<VertexId>,
+    /// Total bytes their raw adjacency lists occupy.
+    pub bytes: usize,
+}
+
+/// Greedily select the top-estimate vertices whose lists fit in
+/// `budget_bytes`. `list_bytes(v)` must report the raw adjacency bytes of
+/// `v` (prefix + appended tail, as shipped to the GPU). Vertices whose list
+/// alone exceeds the remaining budget are skipped (lower-ranked smaller
+/// lists may still fit — the greedy knapsack the paper's packing implies).
+pub fn select_top_frequency(
+    est: &FreqEstimate,
+    budget_bytes: usize,
+    mut list_bytes: impl FnMut(VertexId) -> usize,
+) -> CacheSelection {
+    let ranked = est.ranked();
+    select_ranked(ranked.into_iter().map(|(v, _)| v), budget_bytes, &mut list_bytes)
+}
+
+/// The Naive baseline: rank by degree instead of estimated frequency.
+/// `degrees` yields `(vertex, degree)` for candidate vertices (typically
+/// all vertices, or the k-hop neighborhood of the batch).
+pub fn select_by_degree(
+    mut candidates: Vec<(VertexId, usize)>,
+    budget_bytes: usize,
+    mut list_bytes: impl FnMut(VertexId) -> usize,
+) -> CacheSelection {
+    candidates.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    select_ranked(candidates.into_iter().map(|(v, _)| v), budget_bytes, &mut list_bytes)
+}
+
+fn select_ranked(
+    ranked: impl Iterator<Item = VertexId>,
+    budget_bytes: usize,
+    list_bytes: &mut impl FnMut(VertexId) -> usize,
+) -> CacheSelection {
+    let mut sel = CacheSelection::default();
+    for v in ranked {
+        let sz = list_bytes(v);
+        if sel.bytes + sz <= budget_bytes {
+            sel.vertices.push(v);
+            sel.bytes += sz;
+        }
+    }
+    sel.vertices.sort_unstable();
+    sel
+}
+
+impl CacheSelection {
+    /// Coverage of an oracle top set: `|S ∩ T| / |S|` (Sec. VI-D).
+    pub fn coverage_of(&self, oracle_top: &[VertexId]) -> f64 {
+        if oracle_top.is_empty() {
+            return 1.0;
+        }
+        let hits = oracle_top
+            .iter()
+            .filter(|v| self.vertices.binary_search(v).is_ok())
+            .count();
+        hits as f64 / oracle_top.len() as f64
+    }
+
+    /// Membership test (vertices are sorted).
+    pub fn contains(&self, v: VertexId) -> bool {
+        self.vertices.binary_search(&v).is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn est_from(freqs: &[f64]) -> FreqEstimate {
+        let mut e = FreqEstimate::new(freqs.len());
+        e.freq = freqs.to_vec();
+        e
+    }
+
+    #[test]
+    fn budget_respected_and_sorted() {
+        let e = est_from(&[10.0, 50.0, 30.0, 0.0]);
+        // Lists: 8 bytes each.
+        let sel = select_top_frequency(&e, 16, |_| 8);
+        assert_eq!(sel.vertices, vec![1, 2]); // top-2 by estimate, sorted by id
+        assert_eq!(sel.bytes, 16);
+    }
+
+    #[test]
+    fn oversized_lists_are_skipped_not_fatal() {
+        let e = est_from(&[10.0, 50.0, 30.0]);
+        // Vertex 1 has a giant list; greedy skips it and still packs 2 and 0.
+        let sel = select_top_frequency(&e, 20, |v| if v == 1 { 100 } else { 8 });
+        assert_eq!(sel.vertices, vec![0, 2]);
+    }
+
+    #[test]
+    fn zero_estimates_never_selected() {
+        let e = est_from(&[0.0, 0.0]);
+        let sel = select_top_frequency(&e, 1000, |_| 8);
+        assert!(sel.vertices.is_empty());
+    }
+
+    #[test]
+    fn degree_policy_prefers_hubs() {
+        let sel = select_by_degree(vec![(0, 3), (1, 100), (2, 7)], 16, |_| 8);
+        assert_eq!(sel.vertices, vec![1, 2]);
+    }
+
+    #[test]
+    fn coverage_metric() {
+        let sel = CacheSelection { vertices: vec![1, 3, 5], bytes: 0 };
+        assert!((sel.coverage_of(&[1, 2, 3, 4]) - 0.5).abs() < 1e-12);
+        assert_eq!(sel.coverage_of(&[]), 1.0);
+        assert!(sel.contains(3));
+        assert!(!sel.contains(2));
+    }
+}

@@ -1,0 +1,219 @@
+//! Atomic traffic counters shared by all simulated execution units.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Relaxed-ordering accumulators for every cost source in the model. The
+/// counters are only aggregates (no inter-counter invariants are read
+/// mid-run), so `Relaxed` is sufficient and keeps the hot path to a single
+/// `lock xadd`.
+#[derive(Debug, Default)]
+pub struct Traffic {
+    /// Bytes moved host→device (or device→host) by DMA.
+    pub dma_bytes: AtomicU64,
+    /// Number of DMA transactions (each pays the setup cost).
+    pub dma_transactions: AtomicU64,
+    /// Payload bytes read from CPU pinned memory via zero-copy.
+    pub zerocopy_bytes: AtomicU64,
+    /// Zero-copy line transactions (128 B each): actual PCIe traffic.
+    pub zerocopy_transactions: AtomicU64,
+    /// Unified-memory page faults (page cache misses).
+    pub um_faults: AtomicU64,
+    /// Unified-memory page-cache hits.
+    pub um_hits: AtomicU64,
+    /// Bytes read from device global memory (cache hits / VSGM reads).
+    pub device_bytes: AtomicU64,
+    /// Set-intersection element operations executed by the GPU kernel.
+    pub gpu_ops: AtomicU64,
+    /// Set-intersection element operations executed on the CPU baseline.
+    pub cpu_ops: AtomicU64,
+    /// Kernel launches.
+    pub kernel_launches: AtomicU64,
+    /// Neighbor-list accesses served from the device-side cache.
+    pub cache_hits: AtomicU64,
+    /// Neighbor-list accesses that fell through to the CPU.
+    pub cache_misses: AtomicU64,
+}
+
+macro_rules! add_methods {
+    ($($field:ident => $method:ident),* $(,)?) => {
+        impl Traffic {
+            $(
+                #[doc = concat!("Add to `", stringify!($field), "`.")]
+                #[inline]
+                pub fn $method(&self, n: u64) {
+                    self.$field.fetch_add(n, Ordering::Relaxed);
+                }
+            )*
+        }
+    };
+}
+
+add_methods! {
+    dma_bytes => add_dma_bytes,
+    dma_transactions => add_dma_transactions,
+    zerocopy_bytes => add_zerocopy_bytes,
+    zerocopy_transactions => add_zerocopy_transactions,
+    um_faults => add_um_faults,
+    um_hits => add_um_hits,
+    device_bytes => add_device_bytes,
+    gpu_ops => add_gpu_ops,
+    cpu_ops => add_cpu_ops,
+    kernel_launches => add_kernel_launches,
+    cache_hits => add_cache_hits,
+    cache_misses => add_cache_misses,
+}
+
+impl Traffic {
+    /// Capture a plain-value snapshot.
+    pub fn snapshot(&self) -> TrafficSnapshot {
+        TrafficSnapshot {
+            dma_bytes: self.dma_bytes.load(Ordering::Relaxed),
+            dma_transactions: self.dma_transactions.load(Ordering::Relaxed),
+            zerocopy_bytes: self.zerocopy_bytes.load(Ordering::Relaxed),
+            zerocopy_transactions: self.zerocopy_transactions.load(Ordering::Relaxed),
+            um_faults: self.um_faults.load(Ordering::Relaxed),
+            um_hits: self.um_hits.load(Ordering::Relaxed),
+            device_bytes: self.device_bytes.load(Ordering::Relaxed),
+            gpu_ops: self.gpu_ops.load(Ordering::Relaxed),
+            cpu_ops: self.cpu_ops.load(Ordering::Relaxed),
+            kernel_launches: self.kernel_launches.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Zero every counter.
+    pub fn reset(&self) {
+        for a in [
+            &self.dma_bytes,
+            &self.dma_transactions,
+            &self.zerocopy_bytes,
+            &self.zerocopy_transactions,
+            &self.um_faults,
+            &self.um_hits,
+            &self.device_bytes,
+            &self.gpu_ops,
+            &self.cpu_ops,
+            &self.kernel_launches,
+            &self.cache_hits,
+            &self.cache_misses,
+        ] {
+            a.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Plain-value snapshot of [`Traffic`]. Subtraction yields interval traffic.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TrafficSnapshot {
+    pub dma_bytes: u64,
+    pub dma_transactions: u64,
+    pub zerocopy_bytes: u64,
+    pub zerocopy_transactions: u64,
+    pub um_faults: u64,
+    pub um_hits: u64,
+    pub device_bytes: u64,
+    pub gpu_ops: u64,
+    pub cpu_ops: u64,
+    pub kernel_launches: u64,
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+}
+
+impl TrafficSnapshot {
+    /// Bytes read from CPU memory by the GPU (the quantity the paper labels
+    /// on the bars of Fig. 8–10): zero-copy payload + faulted UM pages.
+    pub fn cpu_access_bytes(&self, page_size: usize) -> u64 {
+        self.zerocopy_bytes + self.um_faults * page_size as u64
+    }
+
+    /// Cache hit rate over neighbor-list accesses.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
+impl std::ops::Sub for TrafficSnapshot {
+    type Output = TrafficSnapshot;
+    fn sub(self, rhs: Self) -> Self {
+        Self {
+            dma_bytes: self.dma_bytes - rhs.dma_bytes,
+            dma_transactions: self.dma_transactions - rhs.dma_transactions,
+            zerocopy_bytes: self.zerocopy_bytes - rhs.zerocopy_bytes,
+            zerocopy_transactions: self.zerocopy_transactions - rhs.zerocopy_transactions,
+            um_faults: self.um_faults - rhs.um_faults,
+            um_hits: self.um_hits - rhs.um_hits,
+            device_bytes: self.device_bytes - rhs.device_bytes,
+            gpu_ops: self.gpu_ops - rhs.gpu_ops,
+            cpu_ops: self.cpu_ops - rhs.cpu_ops,
+            kernel_launches: self.kernel_launches - rhs.kernel_launches,
+            cache_hits: self.cache_hits - rhs.cache_hits,
+            cache_misses: self.cache_misses - rhs.cache_misses,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulate_snapshot_reset() {
+        let t = Traffic::default();
+        t.add_zerocopy_bytes(100);
+        t.add_zerocopy_transactions(1);
+        t.add_gpu_ops(42);
+        let s = t.snapshot();
+        assert_eq!(s.zerocopy_bytes, 100);
+        assert_eq!(s.gpu_ops, 42);
+        t.reset();
+        assert_eq!(t.snapshot(), TrafficSnapshot::default());
+    }
+
+    #[test]
+    fn interval_subtraction() {
+        let t = Traffic::default();
+        t.add_dma_bytes(10);
+        let a = t.snapshot();
+        t.add_dma_bytes(5);
+        t.add_um_faults(2);
+        let b = t.snapshot();
+        let d = b - a;
+        assert_eq!(d.dma_bytes, 5);
+        assert_eq!(d.um_faults, 2);
+    }
+
+    #[test]
+    fn cpu_access_bytes_combines_paths() {
+        let s = TrafficSnapshot { zerocopy_bytes: 1000, um_faults: 2, ..Default::default() };
+        assert_eq!(s.cpu_access_bytes(4096), 1000 + 8192);
+    }
+
+    #[test]
+    fn hit_rate() {
+        let s = TrafficSnapshot { cache_hits: 3, cache_misses: 1, ..Default::default() };
+        assert!((s.cache_hit_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(TrafficSnapshot::default().cache_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn parallel_accumulation_is_lossless() {
+        let t = std::sync::Arc::new(Traffic::default());
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let t = t.clone();
+                s.spawn(move || {
+                    for _ in 0..10_000 {
+                        t.add_gpu_ops(1);
+                    }
+                });
+            }
+        });
+        assert_eq!(t.snapshot().gpu_ops, 80_000);
+    }
+}

@@ -1,0 +1,162 @@
+//! Device-side page cache for the unified-memory model.
+//!
+//! CUDA unified memory migrates 4 KiB pages on demand and keeps them
+//! resident on the device until evicted. We model that with a sharded CLOCK
+//! cache (second-chance eviction): cheap, concurrent, and a close stand-in
+//! for the driver's LRU-ish behaviour. Each `access` reports hit/miss; the
+//! caller charges a page fault for each miss.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+const SHARDS: usize = 64;
+
+struct Shard {
+    /// page id → slot index
+    map: HashMap<u64, usize>,
+    /// (page id, referenced bit) per slot
+    slots: Vec<(u64, bool)>,
+    capacity: usize,
+    hand: usize,
+}
+
+impl Shard {
+    fn new(capacity: usize) -> Self {
+        Self {
+            map: HashMap::with_capacity(capacity),
+            slots: Vec::with_capacity(capacity),
+            capacity,
+            hand: 0,
+        }
+    }
+
+    fn access(&mut self, page: u64) -> bool {
+        if self.capacity == 0 {
+            return false;
+        }
+        if let Some(&slot) = self.map.get(&page) {
+            self.slots[slot].1 = true;
+            return true;
+        }
+        // Miss: insert, evicting with CLOCK if full.
+        if self.slots.len() < self.capacity {
+            self.slots.push((page, true));
+            self.map.insert(page, self.slots.len() - 1);
+        } else {
+            loop {
+                let (victim, referenced) = self.slots[self.hand];
+                if referenced {
+                    self.slots[self.hand].1 = false;
+                    self.hand = (self.hand + 1) % self.capacity;
+                } else {
+                    self.map.remove(&victim);
+                    self.slots[self.hand] = (page, true);
+                    self.map.insert(page, self.hand);
+                    self.hand = (self.hand + 1) % self.capacity;
+                    break;
+                }
+            }
+        }
+        false
+    }
+}
+
+/// Concurrent fixed-capacity page cache.
+pub struct PageCache {
+    shards: Vec<Mutex<Shard>>,
+}
+
+impl PageCache {
+    /// Cache holding at most `capacity_pages` pages in total.
+    pub fn new(capacity_pages: usize) -> Self {
+        let per_shard = capacity_pages.div_ceil(SHARDS);
+        let shards = (0..SHARDS).map(|_| Mutex::new(Shard::new(per_shard))).collect();
+        Self { shards }
+    }
+
+    /// Touch `page`; returns `true` on a hit, `false` on a fault.
+    pub fn access(&self, page: u64) -> bool {
+        let shard = (page as usize) % SHARDS;
+        self.shards[shard].lock().access(page)
+    }
+
+    /// Touch every page in `[first, last]`; returns the number of faults.
+    pub fn access_range(&self, first: u64, last: u64) -> u64 {
+        let mut faults = 0;
+        for p in first..=last {
+            if !self.access(p) {
+                faults += 1;
+            }
+        }
+        faults
+    }
+
+    /// Drop all resident pages.
+    pub fn clear(&self) {
+        for s in &self.shards {
+            let mut s = s.lock();
+            s.map.clear();
+            s.slots.clear();
+            s.hand = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_after_insert() {
+        let c = PageCache::new(SHARDS * 4);
+        assert!(!c.access(7));
+        assert!(c.access(7));
+    }
+
+    #[test]
+    fn zero_capacity_never_hits() {
+        let c = PageCache::new(0);
+        assert!(!c.access(1));
+        assert!(!c.access(1));
+    }
+
+    #[test]
+    fn eviction_under_pressure() {
+        // One page per shard: two distinct pages hashing to the same shard
+        // must evict each other.
+        let c = PageCache::new(SHARDS);
+        let a = 0u64;
+        let b = SHARDS as u64; // same shard as `a`
+        assert!(!c.access(a));
+        assert!(!c.access(b)); // evicts nothing yet? clock: a referenced → second chance, then evict a
+        assert!(c.access(b) || c.access(a)); // exactly one of them is resident
+    }
+
+    #[test]
+    fn range_fault_count() {
+        let c = PageCache::new(SHARDS * 16);
+        assert_eq!(c.access_range(0, 9), 10);
+        assert_eq!(c.access_range(0, 9), 0);
+        assert_eq!(c.access_range(5, 14), 5);
+    }
+
+    #[test]
+    fn clear_empties_cache() {
+        let c = PageCache::new(SHARDS * 2);
+        c.access(3);
+        assert!(c.access(3));
+        c.clear();
+        assert!(!c.access(3));
+    }
+
+    #[test]
+    fn working_set_within_capacity_stays_resident() {
+        let c = PageCache::new(SHARDS * 8);
+        for p in 0..(SHARDS as u64 * 4) {
+            c.access(p);
+        }
+        // Second pass: everything should hit (capacity is double the set).
+        let faults = c.access_range(0, SHARDS as u64 * 4 - 1);
+        assert_eq!(faults, 0);
+    }
+}

@@ -1,0 +1,219 @@
+//! Simulated-time model: traffic snapshot → seconds.
+//!
+//! Every engine's "execution time" in the reproduced figures is computed
+//! here, from the same formula, so no engine can be favoured except through
+//! the traffic it actually generated:
+//!
+//! ```text
+//! t_dma     = dma_transactions · dma_setup + dma_bytes / dma_bandwidth
+//! t_zc      = zc_transactions · (line/zc_bandwidth + stall)
+//! t_um      = um_faults · (fault_latency + page/dma_bandwidth)
+//! t_device  = device_bytes / device_bandwidth
+//! t_compute = gpu_ops · gpu_op_cost  (or cpu_ops · cpu_op_cost)
+//! t_launch  = kernel_launches · kernel_launch
+//! ```
+//!
+//! GPU memory time and compute overlap imperfectly in reality; the model
+//! sums them, which is the conservative choice and preserves orderings
+//! (both terms are monotone in the work done).
+
+use crate::config::GpuConfig;
+use crate::counters::TrafficSnapshot;
+
+/// Per-component simulated time (seconds) for one measured interval.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SimBreakdown {
+    pub dma: f64,
+    pub zerocopy: f64,
+    pub unified: f64,
+    pub device_mem: f64,
+    pub gpu_compute: f64,
+    pub cpu_compute: f64,
+    pub launches: f64,
+    /// Host-side time charged by the engine itself (frequency estimation,
+    /// packing, reorganisation). Filled in by the engine layer; zero here.
+    pub host_extra: f64,
+}
+
+impl SimBreakdown {
+    /// Derive the breakdown from a traffic snapshot.
+    pub fn from_traffic(t: &TrafficSnapshot, c: &GpuConfig) -> Self {
+        let line_cost = c.zerocopy_line as f64 / c.zerocopy_bandwidth + c.zerocopy_stall;
+        Self {
+            dma: t.dma_transactions as f64 * c.dma_setup + t.dma_bytes as f64 / c.dma_bandwidth,
+            zerocopy: t.zerocopy_transactions as f64 * line_cost,
+            unified: t.um_faults as f64 * (c.um_fault_latency + c.um_page as f64 / c.dma_bandwidth),
+            device_mem: t.device_bytes as f64 / c.device_bandwidth,
+            gpu_compute: t.gpu_ops as f64 * c.gpu_op_cost,
+            cpu_compute: t.cpu_ops as f64 * c.cpu_op_cost,
+            launches: t.kernel_launches as f64 * c.kernel_launch,
+            host_extra: 0.0,
+        }
+    }
+
+    /// Total simulated seconds.
+    pub fn total(&self) -> f64 {
+        self.dma
+            + self.zerocopy
+            + self.unified
+            + self.device_mem
+            + self.gpu_compute
+            + self.cpu_compute
+            + self.launches
+            + self.host_extra
+    }
+
+    /// Total in milliseconds (the unit of the paper's figures).
+    pub fn total_ms(&self) -> f64 {
+        self.total() * 1e3
+    }
+
+    /// The data-communication part (the paper's "DC" bars in Fig. 13):
+    /// DMA + launch-side copies, excluding matching-time memory traffic.
+    pub fn data_copy(&self) -> f64 {
+        self.dma
+    }
+
+    /// The matching-kernel part (the paper's "Match" bars in Fig. 13).
+    pub fn match_kernel(&self) -> f64 {
+        self.zerocopy + self.unified + self.device_mem + self.gpu_compute + self.launches
+    }
+}
+
+impl std::ops::Add for SimBreakdown {
+    type Output = SimBreakdown;
+    fn add(self, r: Self) -> Self {
+        Self {
+            dma: self.dma + r.dma,
+            zerocopy: self.zerocopy + r.zerocopy,
+            unified: self.unified + r.unified,
+            device_mem: self.device_mem + r.device_mem,
+            gpu_compute: self.gpu_compute + r.gpu_compute,
+            cpu_compute: self.cpu_compute + r.cpu_compute,
+            launches: self.launches + r.launches,
+            host_extra: self.host_extra + r.host_extra,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> GpuConfig {
+        GpuConfig::default()
+    }
+
+    #[test]
+    fn zero_traffic_zero_time() {
+        let b = SimBreakdown::from_traffic(&TrafficSnapshot::default(), &cfg());
+        assert_eq!(b.total(), 0.0);
+    }
+
+    #[test]
+    fn um_dominates_zero_copy_for_fine_access() {
+        // One 4-byte access via each path: UM pays a whole page fault.
+        let c = cfg();
+        let zc = TrafficSnapshot { zerocopy_bytes: 4, zerocopy_transactions: 1, ..Default::default() };
+        let um = TrafficSnapshot { um_faults: 1, ..Default::default() };
+        let t_zc = SimBreakdown::from_traffic(&zc, &c).total();
+        let t_um = SimBreakdown::from_traffic(&um, &c).total();
+        assert!(t_um / t_zc > 50.0, "um/zc ratio {}", t_um / t_zc);
+    }
+
+    #[test]
+    fn dma_beats_zero_copy_for_bulk() {
+        // 1 MB moved as one DMA vs as zero-copy lines.
+        let c = cfg();
+        let bytes = 1 << 20;
+        let dma = TrafficSnapshot { dma_bytes: bytes, dma_transactions: 1, ..Default::default() };
+        let zc = TrafficSnapshot {
+            zerocopy_bytes: bytes,
+            zerocopy_transactions: bytes / 128,
+            ..Default::default()
+        };
+        assert!(
+            SimBreakdown::from_traffic(&dma, &c).total()
+                < SimBreakdown::from_traffic(&zc, &c).total()
+        );
+    }
+
+    #[test]
+    fn zero_copy_beats_dma_for_tiny_transfers() {
+        // 128 bytes: DMA pays the setup; zero-copy just the line.
+        let c = cfg();
+        let dma = TrafficSnapshot { dma_bytes: 128, dma_transactions: 1, ..Default::default() };
+        let zc = TrafficSnapshot {
+            zerocopy_bytes: 128,
+            zerocopy_transactions: 1,
+            ..Default::default()
+        };
+        assert!(
+            SimBreakdown::from_traffic(&zc, &c).total()
+                < SimBreakdown::from_traffic(&dma, &c).total()
+        );
+    }
+
+    #[test]
+    fn addition_and_totals() {
+        let c = cfg();
+        let a = SimBreakdown::from_traffic(
+            &TrafficSnapshot { gpu_ops: 1000, ..Default::default() },
+            &c,
+        );
+        let b = SimBreakdown::from_traffic(
+            &TrafficSnapshot { cpu_ops: 1000, ..Default::default() },
+            &c,
+        );
+        let s = a + b;
+        assert!((s.total() - (a.total() + b.total())).abs() < 1e-15);
+        assert!((s.total_ms() - s.total() * 1e3).abs() < 1e-12);
+    }
+
+    proptest::proptest! {
+        /// Simulated time is monotone in every traffic component and
+        /// always nonnegative.
+        #[test]
+        fn time_is_monotone_in_traffic(
+            dma in 0u64..1_000_000, zc in 0u64..1_000_000,
+            faults in 0u64..10_000, dev in 0u64..10_000_000,
+            gops in 0u64..10_000_000, bump in 1u64..100_000,
+        ) {
+            let c = GpuConfig::default();
+            let base = TrafficSnapshot {
+                dma_bytes: dma, dma_transactions: dma / 4096 + 1,
+                zerocopy_bytes: zc, zerocopy_transactions: zc / 128 + 1,
+                um_faults: faults, device_bytes: dev, gpu_ops: gops,
+                ..Default::default()
+            };
+            let t0 = SimBreakdown::from_traffic(&base, &c).total();
+            proptest::prop_assert!(t0 >= 0.0);
+            for grow in [
+                TrafficSnapshot { zerocopy_transactions: base.zerocopy_transactions + bump, ..base },
+                TrafficSnapshot { um_faults: base.um_faults + bump, ..base },
+                TrafficSnapshot { gpu_ops: base.gpu_ops + bump, ..base },
+                TrafficSnapshot { dma_bytes: base.dma_bytes + bump, ..base },
+            ] {
+                let t1 = SimBreakdown::from_traffic(&grow, &c).total();
+                proptest::prop_assert!(t1 > t0, "more traffic must cost more: {t1} vs {t0}");
+            }
+        }
+    }
+
+    #[test]
+    fn breakdown_partition_matches_fig13_semantics() {
+        let c = cfg();
+        let t = TrafficSnapshot {
+            dma_bytes: 1 << 20,
+            dma_transactions: 1,
+            zerocopy_bytes: 4096,
+            zerocopy_transactions: 32,
+            device_bytes: 1 << 16,
+            gpu_ops: 10_000,
+            kernel_launches: 1,
+            ..Default::default()
+        };
+        let b = SimBreakdown::from_traffic(&t, &c);
+        assert!((b.data_copy() + b.match_kernel() - b.total()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,155 @@
+//! Small graph analytics used by workload characterization and the
+//! experiment harness: degree histograms, induced subgraphs, connectivity.
+
+use crate::csr::{CsrBuilder, CsrGraph};
+use crate::types::VertexId;
+
+/// Degree histogram: `hist[d]` = number of vertices of degree `d`.
+pub fn degree_histogram(g: &CsrGraph) -> Vec<usize> {
+    let mut hist = vec![0usize; g.max_degree() + 1];
+    for v in 0..g.num_vertices() as VertexId {
+        hist[g.degree(v)] += 1;
+    }
+    hist
+}
+
+/// Degree-distribution skew: max degree / average degree. ~1 for regular
+/// graphs; large for the hub-heavy graphs where degree-based caching could
+/// plausibly work.
+pub fn degree_skew(g: &CsrGraph) -> f64 {
+    let n = g.num_vertices();
+    if n == 0 || g.num_edges() == 0 {
+        return 0.0;
+    }
+    let avg = 2.0 * g.num_edges() as f64 / n as f64;
+    g.max_degree() as f64 / avg
+}
+
+/// Global clustering coefficient: 3 × triangles / wedges. The quantity the
+/// social generator's wedge closure raises (real social graphs: 0.1–0.3;
+/// plain R-MAT: ≪ 0.01).
+pub fn clustering_coefficient(g: &CsrGraph) -> f64 {
+    let mut triangles = 0u64;
+    let mut wedges = 0u64;
+    for v in 0..g.num_vertices() as VertexId {
+        let d = g.degree(v) as u64;
+        wedges += d.saturating_sub(1) * d / 2;
+    }
+    for (u, v) in g.edges() {
+        // |N(u) ∩ N(v)| by sorted merge.
+        let (nu, nv) = (g.neighbors(u), g.neighbors(v));
+        let (mut i, mut j) = (0, 0);
+        while i < nu.len() && j < nv.len() {
+            match nu[i].cmp(&nv[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    triangles += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+    }
+    // Each triangle is counted once per edge = 3 times.
+    if wedges == 0 {
+        0.0
+    } else {
+        triangles as f64 / wedges as f64
+    }
+}
+
+/// Induced subgraph on `vertices` (ids are remapped to `0..k` in the order
+/// given; labels carried over). Useful for zooming into a batch's
+/// neighborhood.
+pub fn induced_subgraph(g: &CsrGraph, vertices: &[VertexId]) -> CsrGraph {
+    let mut remap = std::collections::HashMap::with_capacity(vertices.len());
+    for (i, &v) in vertices.iter().enumerate() {
+        remap.insert(v, i as VertexId);
+    }
+    let mut b = CsrBuilder::new(vertices.len());
+    for &v in vertices {
+        if let Some(&rv) = remap.get(&v) {
+            for &w in g.neighbors(v) {
+                if let Some(&rw) = remap.get(&w) {
+                    if rv < rw {
+                        b.add_edge(rv, rw);
+                    }
+                }
+            }
+        }
+    }
+    b.set_labels(vertices.iter().map(|&v| g.label(v)).collect());
+    b.build()
+}
+
+/// Number of connected components.
+pub fn connected_components(g: &CsrGraph) -> usize {
+    let n = g.num_vertices();
+    let mut seen = vec![false; n];
+    let mut components = 0;
+    let mut stack = Vec::new();
+    for s in 0..n {
+        if seen[s] {
+            continue;
+        }
+        components += 1;
+        seen[s] = true;
+        stack.push(s as VertexId);
+        while let Some(v) = stack.pop() {
+            for &w in g.neighbors(v) {
+                if !seen[w as usize] {
+                    seen[w as usize] = true;
+                    stack.push(w);
+                }
+            }
+        }
+    }
+    components
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CsrGraph {
+        // Triangle {0,1,2} + path 3-4; 5 isolated.
+        CsrGraph::from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4)])
+    }
+
+    #[test]
+    fn histogram_and_skew() {
+        let g = sample();
+        let h = degree_histogram(&g);
+        assert_eq!(h[0], 1); // vertex 5
+        assert_eq!(h[1], 2); // 3, 4
+        assert_eq!(h[2], 3); // triangle
+        let avg = 2.0 * 4.0 / 6.0;
+        assert!((degree_skew(&g) - 2.0 / avg).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clustering() {
+        let g = sample();
+        // Wedges: 3 (one per triangle corner). Triangle edge-count = 3.
+        assert!((clustering_coefficient(&g) - 1.0).abs() < 1e-12);
+        let path = CsrGraph::from_edges(3, &[(0, 1), (1, 2)]);
+        assert_eq!(clustering_coefficient(&path), 0.0);
+    }
+
+    #[test]
+    fn induced() {
+        let g = sample();
+        let sub = induced_subgraph(&g, &[0, 2, 4]);
+        assert_eq!(sub.num_vertices(), 3);
+        assert_eq!(sub.num_edges(), 1); // only (0,2) survives
+        assert!(sub.has_edge(0, 1)); // remapped ids: 0→0, 2→1
+    }
+
+    #[test]
+    fn components() {
+        assert_eq!(connected_components(&sample()), 3);
+        assert_eq!(connected_components(&CsrGraph::from_edges(1, &[])), 1);
+        assert_eq!(connected_components(&CsrGraph::from_edges(0, &[])), 0);
+    }
+}

@@ -1,0 +1,251 @@
+//! Immutable compressed-sparse-row snapshot.
+//!
+//! Used (a) as the initial graph `G_0` a [`crate::DynamicGraph`] is seeded
+//! from, and (b) by the from-scratch reference matcher that validates the
+//! incremental results (the paper's correctness anchor: `ΔM` must equal the
+//! difference between matching `G_{k+1}` and `G_k` from scratch).
+
+use crate::types::{Label, VertexId};
+
+/// An undirected graph in CSR form with sorted, deduplicated neighbor lists.
+#[derive(Clone, Debug, Default)]
+pub struct CsrGraph {
+    offsets: Vec<usize>,
+    neighbors: Vec<VertexId>,
+    labels: Vec<Label>,
+    max_degree: usize,
+}
+
+impl CsrGraph {
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// Number of undirected edges (each stored twice internally).
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.neighbors.len() / 2
+    }
+
+    /// Total number of directed adjacency entries (2 × undirected edges).
+    #[inline]
+    pub fn num_directed_edges(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// The maximum vertex degree `D` used by the random-walk estimator.
+    #[inline]
+    pub fn max_degree(&self) -> usize {
+        self.max_degree
+    }
+
+    /// Sorted neighbor list of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        let v = v as usize;
+        &self.neighbors[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        let v = v as usize;
+        self.offsets[v + 1] - self.offsets[v]
+    }
+
+    /// Label of `v`.
+    #[inline]
+    pub fn label(&self, v: VertexId) -> Label {
+        self.labels[v as usize]
+    }
+
+    /// All labels (index = vertex id).
+    #[inline]
+    pub fn labels(&self) -> &[Label] {
+        &self.labels
+    }
+
+    /// True if the undirected edge `(a, b)` exists.
+    pub fn has_edge(&self, a: VertexId, b: VertexId) -> bool {
+        let (probe, list) = if self.degree(a) <= self.degree(b) {
+            (b, self.neighbors(a))
+        } else {
+            (a, self.neighbors(b))
+        };
+        list.binary_search(&probe).is_ok()
+    }
+
+    /// Iterate over each undirected edge once, as `(min, max)` pairs.
+    pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        (0..self.num_vertices() as VertexId).flat_map(move |u| {
+            self.neighbors(u)
+                .iter()
+                .copied()
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
+        })
+    }
+
+    /// In-memory size of the adjacency structure in bytes (the quantity the
+    /// paper's Table I reports as "Size (GB)").
+    pub fn adjacency_bytes(&self) -> usize {
+        self.neighbors.len() * std::mem::size_of::<VertexId>()
+            + self.offsets.len() * std::mem::size_of::<usize>()
+    }
+}
+
+/// Builder that accumulates undirected edges and produces a [`CsrGraph`].
+///
+/// Duplicate edges and self loops are silently dropped; vertex count grows to
+/// cover the largest id seen.
+#[derive(Clone, Debug, Default)]
+pub struct CsrBuilder {
+    edges: Vec<(VertexId, VertexId)>,
+    labels: Vec<Label>,
+    num_vertices: usize,
+}
+
+impl CsrBuilder {
+    /// New builder with `num_vertices` pre-declared (ids `0..num_vertices`).
+    pub fn new(num_vertices: usize) -> Self {
+        Self { edges: Vec::new(), labels: Vec::new(), num_vertices }
+    }
+
+    /// Reserve capacity for `n` more edges.
+    pub fn reserve(&mut self, n: usize) {
+        self.edges.reserve(n);
+    }
+
+    /// Add an undirected edge. Self loops are ignored.
+    pub fn add_edge(&mut self, a: VertexId, b: VertexId) {
+        if a == b {
+            return;
+        }
+        let (a, b) = if a < b { (a, b) } else { (b, a) };
+        self.num_vertices = self.num_vertices.max(b as usize + 1);
+        self.edges.push((a, b));
+    }
+
+    /// Set per-vertex labels (missing entries default to 0).
+    pub fn set_labels(&mut self, labels: Vec<Label>) {
+        self.labels = labels;
+    }
+
+    /// Number of (possibly duplicate) edges added so far.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Build the CSR graph: sort, dedup, and lay out neighbor arrays.
+    pub fn build(mut self) -> CsrGraph {
+        let n = self.num_vertices;
+        self.edges.sort_unstable();
+        self.edges.dedup();
+
+        let mut degrees = vec![0usize; n];
+        for &(a, b) in &self.edges {
+            degrees[a as usize] += 1;
+            degrees[b as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0usize;
+        offsets.push(0);
+        for &d in &degrees {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut cursor = offsets.clone();
+        let mut neighbors = vec![0 as VertexId; acc];
+        for &(a, b) in &self.edges {
+            neighbors[cursor[a as usize]] = b;
+            cursor[a as usize] += 1;
+            neighbors[cursor[b as usize]] = a;
+            cursor[b as usize] += 1;
+        }
+        // Each list was filled in increasing order of the *other* endpoint
+        // only for the `a` side; sort every list to make the invariant
+        // unconditional.
+        for v in 0..n {
+            neighbors[offsets[v]..offsets[v + 1]].sort_unstable();
+        }
+        let mut labels = self.labels;
+        labels.resize(n, 0);
+        let max_degree = degrees.iter().copied().max().unwrap_or(0);
+        CsrGraph { offsets, neighbors, labels, max_degree }
+    }
+}
+
+impl CsrGraph {
+    /// Convenience constructor from an undirected edge list.
+    pub fn from_edges(num_vertices: usize, edges: &[(VertexId, VertexId)]) -> Self {
+        let mut b = CsrBuilder::new(num_vertices);
+        for &(a, c) in edges {
+            b.add_edge(a, c);
+        }
+        b.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> CsrGraph {
+        // The data graph G_0 of the paper's Fig. 1 (unlabeled): a kite.
+        CsrGraph::from_edges(4, &[(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)])
+    }
+
+    #[test]
+    fn basic_topology() {
+        let g = diamond();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 5);
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.neighbors(1), &[0, 2, 3]);
+        assert_eq!(g.degree(1), 3);
+        assert_eq!(g.max_degree(), 3);
+        assert!(g.has_edge(1, 3));
+        assert!(g.has_edge(3, 1));
+        assert!(!g.has_edge(0, 3));
+    }
+
+    #[test]
+    fn dedup_and_self_loops() {
+        let g = CsrGraph::from_edges(3, &[(0, 1), (1, 0), (0, 1), (2, 2)]);
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.degree(2), 0);
+    }
+
+    #[test]
+    fn edges_iterator_is_canonical_and_complete() {
+        let g = diamond();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)]);
+    }
+
+    #[test]
+    fn neighbor_lists_sorted() {
+        let g = CsrGraph::from_edges(6, &[(5, 0), (5, 3), (5, 1), (5, 4), (5, 2)]);
+        assert_eq!(g.neighbors(5), &[0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn labels_default_and_explicit() {
+        let mut b = CsrBuilder::new(3);
+        b.add_edge(0, 1);
+        b.set_labels(vec![7, 8]);
+        let g = b.build();
+        assert_eq!(g.label(0), 7);
+        assert_eq!(g.label(1), 8);
+        assert_eq!(g.label(2), 0);
+    }
+
+    #[test]
+    fn isolated_trailing_vertices_preserved() {
+        let g = CsrGraph::from_edges(10, &[(0, 1)]);
+        assert_eq!(g.num_vertices(), 10);
+        assert_eq!(g.degree(9), 0);
+    }
+}

@@ -1,0 +1,771 @@
+//! The CPU-side dynamic graph store (paper Sec. V-A, Fig. 5).
+//!
+//! Per vertex we keep one growable array of encoded neighbor entries:
+//!
+//! * arrays are preallocated at **double** the initial degree so insertions
+//!   are amortised O(1) (paper Step-1);
+//! * new vertices get an array sized to the average degree (Step-2);
+//! * deletions are **tombstoned in place** — the paper stores `-v`, we set
+//!   the MSB — located by binary search in the sorted prefix (Step-3);
+//! * after the batch has been matched, [`DynamicGraph::reorganize`] removes
+//!   tombstones and merges the sorted appended tail back into the prefix in
+//!   linear time per updated list (Step-4), restoring the fully-sorted
+//!   invariant for the next batch.
+//!
+//! Between [`DynamicGraph::begin_batch`] and [`DynamicGraph::reorganize`]
+//! the structure serves both the **old** view `N` (pre-batch) and the **new**
+//! view `N'` (post-batch) required by the incremental join of Fig. 2.
+
+use crate::csr::{CsrBuilder, CsrGraph};
+use crate::stats::GraphStats;
+use crate::types::{
+    decode_neighbor, encode_tombstone, is_tombstone, EdgeUpdate, Label, UpdateOp, VertexId,
+};
+use crate::view::NeighborView;
+
+/// One adjacency array.
+#[derive(Clone, Debug, Default)]
+struct AdjList {
+    /// `[0..old_len)`: sorted original prefix (entries may be tombstoned);
+    /// `[old_len..)`: neighbors appended this batch (sorted by `seal_batch`).
+    data: Vec<u32>,
+    /// Length of the prefix = degree at batch start.
+    old_len: usize,
+    /// Number of tombstoned entries currently in the prefix.
+    dead: usize,
+}
+
+impl AdjList {
+    fn live_degree(&self) -> usize {
+        self.data.len() - self.dead
+    }
+
+    /// Binary search the prefix by decoded id.
+    fn find_in_prefix(&self, v: VertexId) -> Result<usize, usize> {
+        self.data[..self.old_len].binary_search_by_key(&v, |&e| decode_neighbor(e))
+    }
+}
+
+/// Summary of a sealed batch, handed to the matching stage.
+#[derive(Clone, Debug, Default)]
+pub struct BatchSummary {
+    /// Updates that actually changed the graph, in application order.
+    pub applied: Vec<EdgeUpdate>,
+    /// Number of requested updates that were no-ops (duplicate insert /
+    /// missing delete).
+    pub skipped: usize,
+}
+
+impl BatchSummary {
+    /// `|ΔE|` — the batch size seen by the matcher and the walk estimator.
+    pub fn len(&self) -> usize {
+        self.applied.len()
+    }
+
+    /// True if no update was applied.
+    pub fn is_empty(&self) -> bool {
+        self.applied.is_empty()
+    }
+}
+
+/// Phase of the update/match cycle (Fig. 3 of the paper).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Phase {
+    /// Lists fully sorted, no tombstones or tails; ready for `begin_batch`.
+    Clean,
+    /// Accepting `apply` calls.
+    Applying,
+    /// Batch sealed: tails sorted, views `N`/`N'` live; ready to match and
+    /// then `reorganize`.
+    Sealed,
+}
+
+/// The dynamic data graph.
+#[derive(Clone, Debug)]
+pub struct DynamicGraph {
+    lists: Vec<AdjList>,
+    labels: Vec<Label>,
+    /// Monotone upper bound on the max live degree (the walk estimator's `D`
+    /// only needs an upper bound; tracking the exact max under deletions
+    /// would cost a scan).
+    max_degree: usize,
+    /// Current number of live undirected edges.
+    num_edges: usize,
+    /// Average degree of the initial graph, used to size new vertices'
+    /// arrays (paper Step-2).
+    initial_avg_degree: usize,
+    phase: Phase,
+    /// Vertices whose lists changed in the current batch (deduplicated at
+    /// seal time).
+    touched: Vec<VertexId>,
+    batch: BatchSummary,
+}
+
+impl DynamicGraph {
+    /// Seed from an initial snapshot `G_0`. Arrays are preallocated at twice
+    /// the initial degree, as in the paper.
+    pub fn from_csr(g: &CsrGraph) -> Self {
+        let n = g.num_vertices();
+        let mut lists = Vec::with_capacity(n);
+        for v in 0..n as VertexId {
+            let nbrs = g.neighbors(v);
+            let mut data = Vec::with_capacity((nbrs.len() * 2).max(4));
+            data.extend_from_slice(nbrs);
+            lists.push(AdjList { old_len: data.len(), data, dead: 0 });
+        }
+        let avg = (2 * g.num_edges()).checked_div(n).unwrap_or(4).max(1);
+        Self {
+            lists,
+            labels: g.labels().to_vec(),
+            max_degree: g.max_degree(),
+            num_edges: g.num_edges(),
+            initial_avg_degree: avg,
+            phase: Phase::Clean,
+            touched: Vec::new(),
+            batch: BatchSummary::default(),
+        }
+    }
+
+    /// Empty graph with `n` isolated unlabeled vertices.
+    pub fn with_vertices(n: usize) -> Self {
+        Self::from_csr(&CsrGraph::from_edges(n, &[]))
+    }
+
+    /// Number of vertices (including isolated ones).
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.lists.len()
+    }
+
+    /// Current number of live undirected edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Upper bound on the maximum degree (the estimator's `D`).
+    #[inline]
+    pub fn max_degree_bound(&self) -> usize {
+        self.max_degree
+    }
+
+    /// Vertex label.
+    #[inline]
+    pub fn label(&self, v: VertexId) -> Label {
+        self.labels[v as usize]
+    }
+
+    /// Set a vertex label (labels are static in the paper's model; exposed
+    /// for dataset construction).
+    pub fn set_label(&mut self, v: VertexId, l: Label) {
+        self.labels[v as usize] = l;
+    }
+
+    /// Average degree of the initial snapshot.
+    #[inline]
+    pub fn initial_avg_degree(&self) -> usize {
+        self.initial_avg_degree
+    }
+
+    // ------------------------------------------------------------------
+    // Batch lifecycle
+    // ------------------------------------------------------------------
+
+    /// Start accepting a batch of updates (Step-1 of Fig. 3).
+    pub fn begin_batch(&mut self) {
+        assert_eq!(self.phase, Phase::Clean, "previous batch not reorganized");
+        self.phase = Phase::Applying;
+        self.touched.clear();
+        self.batch = BatchSummary::default();
+    }
+
+    /// Apply one update. Returns `true` if it changed the graph. Duplicate
+    /// insertions and deletions of absent edges are counted as skipped.
+    /// Inserting an edge whose endpoints exceed the current vertex count
+    /// grows the graph (the paper: "a newly inserted edge may consist of new
+    /// vertices"); new vertices get label 0.
+    pub fn apply(&mut self, u: EdgeUpdate) -> bool {
+        assert_eq!(self.phase, Phase::Applying, "apply outside begin_batch");
+        if u.src == u.dst {
+            self.batch.skipped += 1;
+            return false;
+        }
+        let applied = match u.op {
+            UpdateOp::Insert => {
+                self.ensure_vertex(u.src.max(u.dst));
+                self.insert_half(u.src, u.dst) && {
+                    let ok = self.insert_half(u.dst, u.src);
+                    debug_assert!(ok, "asymmetric adjacency state");
+                    ok
+                }
+            }
+            UpdateOp::Delete => {
+                if (u.src as usize) < self.lists.len() && (u.dst as usize) < self.lists.len() {
+                    self.delete_half(u.src, u.dst) && {
+                        let ok = self.delete_half(u.dst, u.src);
+                        debug_assert!(ok, "asymmetric adjacency state");
+                        ok
+                    }
+                } else {
+                    false
+                }
+            }
+        };
+        if applied {
+            match u.op {
+                UpdateOp::Insert => {
+                    self.num_edges += 1;
+                    let d = self.lists[u.src as usize]
+                        .live_degree()
+                        .max(self.lists[u.dst as usize].live_degree());
+                    self.max_degree = self.max_degree.max(d);
+                }
+                UpdateOp::Delete => self.num_edges -= 1,
+            }
+            self.touched.push(u.src);
+            self.touched.push(u.dst);
+            self.batch.applied.push(u);
+        } else {
+            self.batch.skipped += 1;
+        }
+        applied
+    }
+
+    /// Grow the vertex set so that id `v` exists.
+    fn ensure_vertex(&mut self, v: VertexId) {
+        let need = v as usize + 1;
+        if need > self.lists.len() {
+            let cap = self.initial_avg_degree;
+            self.lists.resize_with(need, || AdjList {
+                data: Vec::with_capacity(cap),
+                old_len: 0,
+                dead: 0,
+            });
+            self.labels.resize(need, 0);
+        }
+    }
+
+    /// Insert `b` into `a`'s list. Returns false if the edge already exists
+    /// live. A tombstoned prefix entry is resurrected in place; a tail entry
+    /// is a duplicate.
+    fn insert_half(&mut self, a: VertexId, b: VertexId) -> bool {
+        let list = &mut self.lists[a as usize];
+        match list.find_in_prefix(b) {
+            Ok(i) => {
+                if is_tombstone(list.data[i]) {
+                    list.data[i] = b;
+                    list.dead -= 1;
+                    true
+                } else {
+                    false
+                }
+            }
+            Err(_) => {
+                if list.data[list.old_len..].contains(&b) {
+                    false
+                } else {
+                    list.data.push(b);
+                    true
+                }
+            }
+        }
+    }
+
+    /// Tombstone `b` in `a`'s prefix, or remove it from the tail if it was
+    /// appended earlier in this same batch. Returns false if absent.
+    fn delete_half(&mut self, a: VertexId, b: VertexId) -> bool {
+        let list = &mut self.lists[a as usize];
+        match list.find_in_prefix(b) {
+            Ok(i) => {
+                if is_tombstone(list.data[i]) {
+                    false
+                } else {
+                    list.data[i] = encode_tombstone(b);
+                    list.dead += 1;
+                    true
+                }
+            }
+            Err(_) => {
+                if let Some(pos) = list.data[list.old_len..].iter().position(|&e| e == b) {
+                    let idx = list.old_len + pos;
+                    list.data.remove(idx);
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Seal the batch: sort every appended tail (so `ΔN` is sorted, enabling
+    /// merge intersections — paper Sec. V-C) and deduplicate the touched set.
+    /// Returns the batch summary handed to the matcher.
+    pub fn seal_batch(&mut self) -> BatchSummary {
+        assert_eq!(self.phase, Phase::Applying, "seal outside batch");
+        self.touched.sort_unstable();
+        self.touched.dedup();
+        for &v in &self.touched {
+            let list = &mut self.lists[v as usize];
+            let old_len = list.old_len;
+            list.data[old_len..].sort_unstable();
+        }
+        self.phase = Phase::Sealed;
+        self.batch.clone()
+    }
+
+    /// The batch currently sealed for matching.
+    pub fn sealed_batch(&self) -> &BatchSummary {
+        assert_eq!(self.phase, Phase::Sealed, "no sealed batch");
+        &self.batch
+    }
+
+    /// Vertices whose adjacency lists changed in the sealed batch (sorted).
+    pub fn updated_vertices(&self) -> &[VertexId] {
+        &self.touched
+    }
+
+    /// Step-4: remove tombstones and merge each updated list back into one
+    /// sorted run. Linear in the length of each updated list. Returns the
+    /// number of lists reorganized.
+    pub fn reorganize(&mut self) -> usize {
+        assert_eq!(self.phase, Phase::Sealed, "reorganize requires a sealed batch");
+        let mut count = 0;
+        for &v in &self.touched {
+            let list = &mut self.lists[v as usize];
+            if list.dead == 0 && list.old_len == list.data.len() {
+                continue; // resurrections only; already sorted
+            }
+            let mut merged = Vec::with_capacity(list.live_degree());
+            {
+                let (prefix, tail) = list.data.split_at(list.old_len);
+                let mut pi = 0;
+                let mut ti = 0;
+                while pi < prefix.len() || ti < tail.len() {
+                    // Skip tombstones in the prefix.
+                    if pi < prefix.len() && is_tombstone(prefix[pi]) {
+                        pi += 1;
+                        continue;
+                    }
+                    match (prefix.get(pi), tail.get(ti)) {
+                        (Some(&p), Some(&t)) => {
+                            if p <= t {
+                                merged.push(p);
+                                pi += 1;
+                            } else {
+                                merged.push(t);
+                                ti += 1;
+                            }
+                        }
+                        (Some(&p), None) => {
+                            merged.push(p);
+                            pi += 1;
+                        }
+                        (None, Some(&t)) => {
+                            merged.push(t);
+                            ti += 1;
+                        }
+                        (None, None) => unreachable!(),
+                    }
+                }
+            }
+            // Keep the doubled-capacity allocation if it still fits; the
+            // paper never shrinks arrays.
+            list.data.clear();
+            list.data.extend_from_slice(&merged);
+            list.old_len = list.data.len();
+            list.dead = 0;
+            count += 1;
+        }
+        self.touched.clear();
+        self.phase = Phase::Clean;
+        count
+    }
+
+    /// Parallel variant of [`Self::reorganize`]: updated lists are
+    /// independent, so the merge runs across the rayon pool (the paper's
+    /// platform reorganizes with 32 CPU threads available). Semantically
+    /// identical to the serial version.
+    pub fn reorganize_parallel(&mut self) -> usize {
+        use rayon::prelude::*;
+        assert_eq!(self.phase, Phase::Sealed, "reorganize requires a sealed batch");
+        let mut touched_flags = vec![false; self.lists.len()];
+        for &v in &self.touched {
+            touched_flags[v as usize] = true;
+        }
+        let count = self
+            .lists
+            .par_iter_mut()
+            .zip(touched_flags.par_iter())
+            .filter(|(_, &t)| t)
+            .map(|(list, _)| {
+                if list.dead == 0 && list.old_len == list.data.len() {
+                    return 0usize;
+                }
+                let mut merged = Vec::with_capacity(list.live_degree());
+                {
+                    let (prefix, tail) = list.data.split_at(list.old_len);
+                    let (mut pi, mut ti) = (0, 0);
+                    while pi < prefix.len() || ti < tail.len() {
+                        if pi < prefix.len() && is_tombstone(prefix[pi]) {
+                            pi += 1;
+                            continue;
+                        }
+                        match (prefix.get(pi), tail.get(ti)) {
+                            (Some(&p), Some(&t)) => {
+                                if p <= t {
+                                    merged.push(p);
+                                    pi += 1;
+                                } else {
+                                    merged.push(t);
+                                    ti += 1;
+                                }
+                            }
+                            (Some(&p), None) => {
+                                merged.push(p);
+                                pi += 1;
+                            }
+                            (None, Some(&t)) => {
+                                merged.push(t);
+                                ti += 1;
+                            }
+                            (None, None) => unreachable!(),
+                        }
+                    }
+                }
+                list.data.clear();
+                list.data.extend_from_slice(&merged);
+                list.old_len = list.data.len();
+                list.dead = 0;
+                1
+            })
+            .sum();
+        self.touched.clear();
+        self.phase = Phase::Clean;
+        count
+    }
+
+    /// Convenience: run a whole batch in one call (apply → seal). The caller
+    /// matches against the sealed state and then calls [`Self::reorganize`].
+    pub fn apply_batch(&mut self, updates: &[EdgeUpdate]) -> BatchSummary {
+        self.begin_batch();
+        for &u in updates {
+            self.apply(u);
+        }
+        self.seal_batch()
+    }
+
+    // ------------------------------------------------------------------
+    // Views
+    // ------------------------------------------------------------------
+
+    /// The old view `N(v)`: the list as of the start of the sealed batch.
+    #[inline]
+    pub fn old_view(&self, v: VertexId) -> NeighborView<'_> {
+        let list = &self.lists[v as usize];
+        NeighborView::old(&list.data[..list.old_len])
+    }
+
+    /// The new view `N'(v)`: the post-batch list.
+    #[inline]
+    pub fn new_view(&self, v: VertexId) -> NeighborView<'_> {
+        let list = &self.lists[v as usize];
+        NeighborView::new_view(&list.data[..list.old_len], &list.data[list.old_len..])
+    }
+
+    /// Raw encoded entries `[prefix | tail]` plus the prefix length. This is
+    /// exactly the byte layout shipped to the GPU cache (DCSR `colidx` keeps
+    /// the same encoding, with the second `rowptr` offset marking the tail).
+    #[inline]
+    pub fn raw_list(&self, v: VertexId) -> (&[u32], usize) {
+        let list = &self.lists[v as usize];
+        (&list.data, list.old_len)
+    }
+
+    /// Degree before the sealed batch.
+    #[inline]
+    pub fn old_degree(&self, v: VertexId) -> usize {
+        self.lists[v as usize].old_len
+    }
+
+    /// Degree after the sealed batch (live entries).
+    #[inline]
+    pub fn new_degree(&self, v: VertexId) -> usize {
+        self.lists[v as usize].live_degree()
+    }
+
+    /// Bytes occupied by `v`'s raw list — the unit of traffic for the GPU
+    /// memory model.
+    #[inline]
+    pub fn list_bytes(&self, v: VertexId) -> usize {
+        self.lists[v as usize].data.len() * std::mem::size_of::<u32>()
+    }
+
+    // ------------------------------------------------------------------
+    // Snapshots
+    // ------------------------------------------------------------------
+
+    /// Snapshot of the *current* (post-batch if sealed) graph as a CSR.
+    pub fn to_csr(&self) -> CsrGraph {
+        let mut b = CsrBuilder::new(self.num_vertices());
+        for v in 0..self.num_vertices() as VertexId {
+            for w in self.new_view(v).iter_sorted() {
+                if v < w {
+                    b.add_edge(v, w);
+                }
+            }
+        }
+        b.set_labels(self.labels.clone());
+        b.build()
+    }
+
+    /// Snapshot of the *pre-batch* graph as a CSR (old views).
+    pub fn old_to_csr(&self) -> CsrGraph {
+        let mut b = CsrBuilder::new(self.num_vertices());
+        for v in 0..self.num_vertices() as VertexId {
+            for w in self.old_view(v).iter_sorted() {
+                if v < w {
+                    b.add_edge(v, w);
+                }
+            }
+        }
+        b.set_labels(self.labels.clone());
+        b.build()
+    }
+
+    /// Total heap bytes held by the adjacency arrays, including the
+    /// doubled-capacity headroom the paper's allocation strategy keeps
+    /// (contrast with [`GraphStats::adjacency_bytes`], which counts used
+    /// entries only).
+    pub fn allocated_bytes(&self) -> usize {
+        self.lists
+            .iter()
+            .map(|l| l.data.capacity() * std::mem::size_of::<u32>())
+            .sum::<usize>()
+            + self.lists.capacity() * std::mem::size_of::<AdjList>()
+            + self.labels.capacity() * std::mem::size_of::<Label>()
+    }
+
+    /// Basic statistics in the shape of the paper's Table I.
+    pub fn stats(&self) -> GraphStats {
+        let mut max_deg = 0usize;
+        let mut bytes = 0usize;
+        for l in &self.lists {
+            max_deg = max_deg.max(l.live_degree());
+            bytes += l.data.len() * std::mem::size_of::<u32>();
+        }
+        GraphStats {
+            num_vertices: self.num_vertices(),
+            num_edges: self.num_edges,
+            max_degree: max_deg,
+            adjacency_bytes: bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Fig. 1's G_0: kite on 4 vertices; the update batch of the figure adds
+    /// (v4, v6)… we use small synthetic variants instead.
+    fn seed() -> DynamicGraph {
+        DynamicGraph::from_csr(&CsrGraph::from_edges(
+            5,
+            &[(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)],
+        ))
+    }
+
+    #[test]
+    fn insert_appends_to_tail_and_views_split() {
+        let mut g = seed();
+        g.begin_batch();
+        assert!(g.apply(EdgeUpdate::insert(3, 4)));
+        assert!(g.apply(EdgeUpdate::insert(0, 4)));
+        let b = g.seal_batch();
+        assert_eq!(b.len(), 2);
+
+        // Old view of 3 excludes the new neighbor 4.
+        assert_eq!(g.old_view(3).to_vec(), vec![1, 2]);
+        assert_eq!(g.new_view(3).to_vec(), vec![1, 2, 4]);
+        // Vertex 4 existed but was isolated.
+        assert_eq!(g.old_view(4).to_vec(), Vec::<u32>::new());
+        assert_eq!(g.new_view(4).to_vec(), vec![0, 3]);
+        assert_eq!(g.num_edges(), 7);
+
+        g.reorganize();
+        assert_eq!(g.old_view(3).to_vec(), vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn delete_tombstones_prefix() {
+        let mut g = seed();
+        g.begin_batch();
+        assert!(g.apply(EdgeUpdate::delete(1, 2)));
+        g.seal_batch();
+        assert_eq!(g.old_view(1).to_vec(), vec![0, 2, 3]);
+        assert_eq!(g.new_view(1).to_vec(), vec![0, 3]);
+        assert_eq!(g.new_view(2).to_vec(), vec![0, 3]);
+        assert_eq!(g.num_edges(), 4);
+        g.reorganize();
+        assert_eq!(g.old_view(1).to_vec(), vec![0, 3]);
+        assert_eq!(g.old_degree(1), 2);
+    }
+
+    #[test]
+    fn duplicate_insert_and_missing_delete_are_noops() {
+        let mut g = seed();
+        g.begin_batch();
+        assert!(!g.apply(EdgeUpdate::insert(0, 1)));
+        assert!(!g.apply(EdgeUpdate::delete(0, 3)));
+        assert!(!g.apply(EdgeUpdate::insert(2, 2)));
+        let b = g.seal_batch();
+        assert_eq!(b.len(), 0);
+        assert_eq!(b.skipped, 3);
+        g.reorganize();
+        assert_eq!(g.num_edges(), 5);
+    }
+
+    #[test]
+    fn insert_then_delete_same_batch_cancels() {
+        let mut g = seed();
+        g.begin_batch();
+        assert!(g.apply(EdgeUpdate::insert(3, 4)));
+        assert!(g.apply(EdgeUpdate::delete(3, 4)));
+        g.seal_batch();
+        assert_eq!(g.new_view(3).to_vec(), vec![1, 2]);
+        assert_eq!(g.num_edges(), 5);
+        g.reorganize();
+        assert_eq!(g.old_view(4).to_vec(), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn delete_then_reinsert_same_batch_resurrects() {
+        let mut g = seed();
+        g.begin_batch();
+        assert!(g.apply(EdgeUpdate::delete(0, 1)));
+        assert!(g.apply(EdgeUpdate::insert(0, 1)));
+        g.seal_batch();
+        assert_eq!(g.new_view(0).to_vec(), vec![1, 2]);
+        assert_eq!(g.num_edges(), 5);
+    }
+
+    #[test]
+    fn new_vertices_grow_graph() {
+        let mut g = seed();
+        g.begin_batch();
+        assert!(g.apply(EdgeUpdate::insert(2, 9)));
+        g.seal_batch();
+        assert_eq!(g.num_vertices(), 10);
+        assert_eq!(g.label(9), 0);
+        assert_eq!(g.new_view(9).to_vec(), vec![2]);
+        g.reorganize();
+        assert_eq!(g.old_view(9).to_vec(), vec![2]);
+    }
+
+    #[test]
+    fn tail_is_sorted_after_seal() {
+        let mut g = seed();
+        g.begin_batch();
+        for w in [9, 7, 5, 8, 6] {
+            assert!(g.apply(EdgeUpdate::insert(0, w)));
+        }
+        g.seal_batch();
+        assert_eq!(g.new_view(0).to_vec(), vec![1, 2, 5, 6, 7, 8, 9]);
+        let (raw, old_len) = g.raw_list(0);
+        assert_eq!(old_len, 2);
+        assert!(raw[old_len..].windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn snapshot_roundtrip() {
+        let mut g = seed();
+        g.begin_batch();
+        g.apply(EdgeUpdate::insert(3, 4));
+        g.apply(EdgeUpdate::delete(0, 2));
+        g.seal_batch();
+        let old = g.old_to_csr();
+        let new = g.to_csr();
+        assert_eq!(old.num_edges(), 5);
+        assert_eq!(new.num_edges(), 5); // +1 −1
+        assert!(old.has_edge(0, 2) && !new.has_edge(0, 2));
+        assert!(!old.has_edge(3, 4) && new.has_edge(3, 4));
+        g.reorganize();
+        let reorg = g.to_csr();
+        assert_eq!(reorg.edges().collect::<Vec<_>>(), new.edges().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn updated_vertices_tracked_and_cleared() {
+        let mut g = seed();
+        g.begin_batch();
+        g.apply(EdgeUpdate::insert(3, 4));
+        g.apply(EdgeUpdate::delete(1, 2));
+        g.seal_batch();
+        assert_eq!(g.updated_vertices(), &[1, 2, 3, 4]);
+        g.reorganize();
+        assert!(g.updated_vertices().is_empty());
+    }
+
+    #[test]
+    fn allocated_bytes_include_headroom() {
+        let g = seed();
+        // Doubled preallocation ⇒ capacity ≥ 2× used entries.
+        let used: usize = (0..5u32).map(|v| g.list_bytes(v)).sum();
+        assert!(g.allocated_bytes() >= 2 * used);
+    }
+
+    #[test]
+    fn stats_reflect_live_graph() {
+        let g = seed();
+        let s = g.stats();
+        assert_eq!(s.num_vertices, 5);
+        assert_eq!(s.num_edges, 5);
+        assert_eq!(s.max_degree, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "previous batch not reorganized")]
+    fn begin_twice_panics() {
+        let mut g = seed();
+        g.begin_batch();
+        g.seal_batch();
+        g.begin_batch();
+    }
+
+    #[test]
+    fn parallel_reorganize_equals_serial() {
+        let build = || {
+            let mut g = seed();
+            g.begin_batch();
+            g.apply(EdgeUpdate::insert(3, 4));
+            g.apply(EdgeUpdate::delete(0, 2));
+            g.apply(EdgeUpdate::insert(0, 4));
+            g.seal_batch();
+            g
+        };
+        let mut a = build();
+        let mut b = build();
+        let ca = a.reorganize();
+        let cb = b.reorganize_parallel();
+        assert_eq!(ca, cb);
+        for v in 0..a.num_vertices() as u32 {
+            assert_eq!(a.raw_list(v).0, b.raw_list(v).0, "v{v}");
+        }
+        assert!(b.updated_vertices().is_empty());
+    }
+
+    #[test]
+    fn multi_batch_lifecycle() {
+        let mut g = seed();
+        for k in 0..10u32 {
+            g.begin_batch();
+            g.apply(EdgeUpdate::insert(0, 5 + k));
+            g.seal_batch();
+            g.reorganize();
+        }
+        assert_eq!(g.new_degree(0), 12);
+        let (raw, old_len) = g.raw_list(0);
+        assert_eq!(old_len, raw.len());
+        assert!(raw.windows(2).all(|w| w[0] < w[1]));
+    }
+}

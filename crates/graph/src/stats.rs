@@ -1,0 +1,55 @@
+//! Graph statistics in the shape of the paper's Table I.
+
+/// Dataset statistics: vertices, edges, max degree, adjacency bytes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GraphStats {
+    pub num_vertices: usize,
+    pub num_edges: usize,
+    pub max_degree: usize,
+    pub adjacency_bytes: usize,
+}
+
+impl GraphStats {
+    /// Adjacency size in (fractional) gigabytes, as Table I reports it.
+    pub fn size_gb(&self) -> f64 {
+        self.adjacency_bytes as f64 / 1e9
+    }
+
+    /// Average degree (2|E| / |V|).
+    pub fn avg_degree(&self) -> f64 {
+        if self.num_vertices == 0 {
+            0.0
+        } else {
+            2.0 * self.num_edges as f64 / self.num_vertices as f64
+        }
+    }
+}
+
+impl std::fmt::Display for GraphStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "|V|={} |E|={} maxdeg={} size={:.4}GB",
+            self.num_vertices, self.num_edges, self.max_degree, self.size_gb()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_quantities() {
+        let s = GraphStats { num_vertices: 4, num_edges: 6, max_degree: 3, adjacency_bytes: 48 };
+        assert!((s.avg_degree() - 3.0).abs() < 1e-12);
+        assert!((s.size_gb() - 48e-9).abs() < 1e-18);
+        assert!(format!("{s}").contains("|V|=4"));
+    }
+
+    #[test]
+    fn empty_graph_avg_degree() {
+        let s = GraphStats { num_vertices: 0, num_edges: 0, max_degree: 0, adjacency_bytes: 0 };
+        assert_eq!(s.avg_degree(), 0.0);
+    }
+}

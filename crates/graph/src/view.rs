@@ -1,0 +1,231 @@
+//! Neighbor-list views: the paper's `N` (old) and `N'` (new) (Fig. 2).
+//!
+//! A dynamic adjacency list mid-batch is physically laid out as
+//!
+//! ```text
+//! [ sorted original prefix, some entries tombstoned | sorted appended tail ]
+//!   ^--------------------- old_len ----------------^
+//! ```
+//!
+//! * the **old** view `N(v)` is the prefix with tombstone bits *ignored*
+//!   (a tombstoned entry was still an edge of `G_k`);
+//! * the **new** view `N'(v)` is the prefix with tombstoned entries *skipped*
+//!   plus the appended tail.
+//!
+//! Both views are sequences of (at most two) sorted runs. The matcher crate
+//! performs merge/galloping intersections run-by-run; this module only
+//! defines the view itself plus the basic operations (`contains`, iteration)
+//! used by tests and by the non-performance-critical code paths.
+
+use crate::types::{decode_neighbor, is_tombstone, VertexId};
+
+/// One sorted run of encoded adjacency entries.
+#[derive(Clone, Copy, Debug)]
+pub struct NeighborRun<'a> {
+    /// Encoded entries (tombstone bit possibly set), sorted by decoded id.
+    pub data: &'a [u32],
+    /// If true, entries with the tombstone bit are skipped; otherwise the
+    /// tombstone bit is masked off and the entry is yielded.
+    pub skip_tombstones: bool,
+}
+
+impl<'a> NeighborRun<'a> {
+    /// Iterate decoded neighbor ids in sorted order.
+    #[inline]
+    pub fn iter(&self) -> impl Iterator<Item = VertexId> + 'a {
+        let skip = self.skip_tombstones;
+        self.data.iter().copied().filter_map(move |e| {
+            if skip && is_tombstone(e) {
+                None
+            } else {
+                Some(decode_neighbor(e))
+            }
+        })
+    }
+
+    /// Binary search for `v` by decoded id. Returns true if present (and not
+    /// filtered out by tombstone skipping).
+    #[inline]
+    pub fn contains(&self, v: VertexId) -> bool {
+        match self.data.binary_search_by_key(&v, |&e| decode_neighbor(e)) {
+            Ok(i) => !(self.skip_tombstones && is_tombstone(self.data[i])),
+            Err(_) => false,
+        }
+    }
+
+    /// Number of raw entries (an upper bound on yielded entries).
+    #[inline]
+    pub fn raw_len(&self) -> usize {
+        self.data.len()
+    }
+}
+
+/// A neighbor view: at most two sorted runs over disjoint id sets.
+///
+/// For the old view the tail run is absent. For the new view the prefix run
+/// skips tombstones and the tail run holds the (sorted) appended neighbors.
+#[derive(Clone, Copy, Debug)]
+pub struct NeighborView<'a> {
+    pub prefix: NeighborRun<'a>,
+    /// Appended-in-this-batch neighbors; `None` for old views and for
+    /// vertices without appended edges.
+    pub tail: Option<&'a [u32]>,
+}
+
+impl<'a> NeighborView<'a> {
+    /// Old view over a raw list prefix.
+    pub fn old(prefix: &'a [u32]) -> Self {
+        Self { prefix: NeighborRun { data: prefix, skip_tombstones: false }, tail: None }
+    }
+
+    /// New view over a raw prefix + appended tail.
+    pub fn new_view(prefix: &'a [u32], tail: &'a [u32]) -> Self {
+        Self {
+            prefix: NeighborRun { data: prefix, skip_tombstones: true },
+            tail: if tail.is_empty() { None } else { Some(tail) },
+        }
+    }
+
+    /// View over a plain sorted list with no tombstones or tail (CSR snapshot
+    /// or reorganized list).
+    pub fn plain(list: &'a [u32]) -> Self {
+        Self { prefix: NeighborRun { data: list, skip_tombstones: false }, tail: None }
+    }
+
+    /// The tail as a run (plain sorted ids).
+    #[inline]
+    pub fn tail_run(&self) -> Option<NeighborRun<'a>> {
+        self.tail.map(|t| NeighborRun { data: t, skip_tombstones: false })
+    }
+
+    /// Upper bound on the number of neighbors in the view.
+    #[inline]
+    pub fn raw_len(&self) -> usize {
+        self.prefix.raw_len() + self.tail.map_or(0, <[u32]>::len)
+    }
+
+    /// Membership test across both runs.
+    #[inline]
+    pub fn contains(&self, v: VertexId) -> bool {
+        self.prefix.contains(v)
+            || self
+                .tail_run()
+                .is_some_and(|r| r.contains(v))
+    }
+
+    /// Decoded neighbors in globally sorted order (merges the two runs).
+    /// Intended for tests and cold paths; hot paths intersect run-by-run.
+    pub fn iter_sorted(&self) -> MergedIter<'a> {
+        MergedIter {
+            prefix: self.prefix,
+            pi: 0,
+            tail: self.tail.unwrap_or(&[]),
+            ti: 0,
+        }
+    }
+
+    /// Collect decoded neighbors into a vector (sorted).
+    pub fn to_vec(&self) -> Vec<VertexId> {
+        self.iter_sorted().collect()
+    }
+
+    /// Exact number of neighbors in the view.
+    pub fn count(&self) -> usize {
+        self.iter_sorted().count()
+    }
+}
+
+/// Merging iterator over a view's two sorted runs.
+pub struct MergedIter<'a> {
+    prefix: NeighborRun<'a>,
+    pi: usize,
+    tail: &'a [u32],
+    ti: usize,
+}
+
+impl<'a> Iterator for MergedIter<'a> {
+    type Item = VertexId;
+
+    fn next(&mut self) -> Option<VertexId> {
+        // Advance past skipped tombstones in the prefix.
+        while self.pi < self.prefix.data.len()
+            && self.prefix.skip_tombstones
+            && is_tombstone(self.prefix.data[self.pi])
+        {
+            self.pi += 1;
+        }
+        let p = self.prefix.data.get(self.pi).map(|&e| decode_neighbor(e));
+        let t = self.tail.get(self.ti).copied();
+        match (p, t) {
+            (Some(pv), Some(tv)) => {
+                if pv <= tv {
+                    self.pi += 1;
+                    Some(pv)
+                } else {
+                    self.ti += 1;
+                    Some(tv)
+                }
+            }
+            (Some(pv), None) => {
+                self.pi += 1;
+                Some(pv)
+            }
+            (None, Some(tv)) => {
+                self.ti += 1;
+                Some(tv)
+            }
+            (None, None) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::encode_tombstone;
+
+    #[test]
+    fn old_view_includes_tombstones() {
+        let raw = vec![1u32, encode_tombstone(3), 5];
+        let v = NeighborView::old(&raw);
+        assert_eq!(v.to_vec(), vec![1, 3, 5]);
+        assert!(v.contains(3));
+        assert_eq!(v.count(), 3);
+    }
+
+    #[test]
+    fn new_view_skips_tombstones_and_merges_tail() {
+        let raw = vec![1u32, encode_tombstone(3), 5];
+        let tail = vec![2u32, 9];
+        let v = NeighborView::new_view(&raw, &tail);
+        assert_eq!(v.to_vec(), vec![1, 2, 5, 9]);
+        assert!(!v.contains(3));
+        assert!(v.contains(2));
+        assert!(v.contains(9));
+        assert_eq!(v.raw_len(), 5);
+        assert_eq!(v.count(), 4);
+    }
+
+    #[test]
+    fn empty_views() {
+        let v = NeighborView::plain(&[]);
+        assert_eq!(v.to_vec(), Vec::<u32>::new());
+        assert!(!v.contains(0));
+    }
+
+    #[test]
+    fn tail_only_view() {
+        let tail = vec![4u32, 7];
+        let v = NeighborView::new_view(&[], &tail);
+        assert_eq!(v.to_vec(), vec![4, 7]);
+    }
+
+    #[test]
+    fn run_contains_respects_skip_flag() {
+        let raw = vec![encode_tombstone(2)];
+        let keep = NeighborRun { data: &raw, skip_tombstones: false };
+        let skip = NeighborRun { data: &raw, skip_tombstones: true };
+        assert!(keep.contains(2));
+        assert!(!skip.contains(2));
+    }
+}

@@ -1,0 +1,223 @@
+//! Exact per-vertex access-frequency instrumentation.
+//!
+//! The paper's cache-quality evaluation (Fig. 15) compares the random-walk
+//! *estimate* of access frequency against the *true* frequency `C_v` — the
+//! number of times vertex `v`'s neighbor list is read during an exact
+//! incremental matching run. [`AccessCounter`] collects `C_v` with atomic
+//! counters so the instrumented run can stay parallel.
+
+use gcsm_graph::VertexId;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Atomic per-vertex access counters.
+pub struct AccessCounter {
+    counts: Vec<AtomicU64>,
+}
+
+impl AccessCounter {
+    /// Counter for a graph of `n` vertices.
+    pub fn new(n: usize) -> Self {
+        let mut counts = Vec::with_capacity(n);
+        counts.resize_with(n, AtomicU64::default);
+        Self { counts }
+    }
+
+    /// Record one neighbor-list access of `v`.
+    #[inline]
+    pub fn record(&self, v: VertexId) {
+        self.counts[v as usize].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Accesses recorded for `v`.
+    pub fn count(&self, v: VertexId) -> u64 {
+        self.counts[v as usize].load(Ordering::Relaxed)
+    }
+
+    /// Total accesses.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Snapshot as a plain vector (index = vertex id).
+    pub fn to_vec(&self) -> Vec<u64> {
+        self.counts.iter().map(|c| c.load(Ordering::Relaxed)).collect()
+    }
+
+    /// Vertices with nonzero counts, sorted by descending count (ties by
+    /// ascending id for determinism).
+    pub fn ranked(&self) -> Vec<(VertexId, u64)> {
+        let mut v: Vec<(VertexId, u64)> = self
+            .counts
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| {
+                let n = c.load(Ordering::Relaxed);
+                (n > 0).then_some((i as VertexId, n))
+            })
+            .collect();
+        v.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v
+    }
+
+    /// Access-coverage curve: for each requested top-fraction `p` of the
+    /// *accessed* vertices (by rank), the fraction of all accesses they
+    /// account for. This is exactly the quantity plotted in Fig. 15a.
+    pub fn coverage_curve(&self, fractions: &[f64]) -> Vec<(f64, f64)> {
+        let ranked = self.ranked();
+        let total: u64 = ranked.iter().map(|r| r.1).sum();
+        if total == 0 {
+            return fractions.iter().map(|&f| (f, 0.0)).collect();
+        }
+        let mut prefix = Vec::with_capacity(ranked.len() + 1);
+        let mut acc = 0u64;
+        prefix.push(0u64);
+        for r in &ranked {
+            acc += r.1;
+            prefix.push(acc);
+        }
+        fractions
+            .iter()
+            .map(|&f| {
+                let k = ((ranked.len() as f64 * f).ceil() as usize).min(ranked.len());
+                (f, prefix[k] as f64 / total as f64)
+            })
+            .collect()
+    }
+
+    /// Byte-weighted ranking: vertices ordered by the *traffic* they
+    /// generate (`accesses × list bytes`) — the quantity Fig. 15a reports
+    /// ("% of the memory access") and the quantity a cache actually saves.
+    pub fn ranked_weighted(&self, mut bytes_of: impl FnMut(VertexId) -> u64) -> Vec<(VertexId, u64)> {
+        let mut v: Vec<(VertexId, u64)> = self
+            .counts
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| {
+                let n = c.load(Ordering::Relaxed);
+                (n > 0).then(|| (i as VertexId, n * bytes_of(i as VertexId)))
+            })
+            .collect();
+        v.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v
+    }
+
+    /// Byte-weighted coverage curve: share of total access *traffic*
+    /// attributable to the top-fraction of traffic-ranked vertices.
+    pub fn coverage_curve_weighted(
+        &self,
+        fractions: &[f64],
+        bytes_of: impl FnMut(VertexId) -> u64,
+    ) -> Vec<(f64, f64)> {
+        let ranked = self.ranked_weighted(bytes_of);
+        let total: u64 = ranked.iter().map(|r| r.1).sum();
+        if total == 0 {
+            return fractions.iter().map(|&f| (f, 0.0)).collect();
+        }
+        let mut prefix = Vec::with_capacity(ranked.len() + 1);
+        let mut acc = 0u64;
+        prefix.push(0u64);
+        for r in &ranked {
+            acc += r.1;
+            prefix.push(acc);
+        }
+        fractions
+            .iter()
+            .map(|&f| {
+                let k = ((ranked.len() as f64 * f).ceil() as usize).min(ranked.len());
+                (f, prefix[k] as f64 / total as f64)
+            })
+            .collect()
+    }
+
+    /// The top-fraction `p` most accessed vertices (the oracle set `S` of
+    /// the coverage metric `|S ∩ T| / |S|` in Sec. VI-D).
+    pub fn top_fraction(&self, p: f64) -> Vec<VertexId> {
+        let ranked = self.ranked();
+        let k = ((ranked.len() as f64 * p).ceil() as usize).min(ranked.len());
+        ranked[..k].iter().map(|r| r.0).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counter_with(counts: &[u64]) -> AccessCounter {
+        let c = AccessCounter::new(counts.len());
+        for (i, &n) in counts.iter().enumerate() {
+            for _ in 0..n {
+                c.record(i as VertexId);
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn ranking_orders_by_count_then_id() {
+        let c = counter_with(&[2, 5, 0, 5]);
+        assert_eq!(c.ranked(), vec![(1, 5), (3, 5), (0, 2)]);
+        assert_eq!(c.total(), 12);
+    }
+
+    #[test]
+    fn coverage_curve_is_monotone_and_normalized() {
+        let c = counter_with(&[100, 50, 10, 5, 1, 1, 1, 1, 1, 1]);
+        let curve = c.coverage_curve(&[0.1, 0.2, 0.5, 1.0]);
+        assert_eq!(curve.len(), 4);
+        for w in curve.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+        assert!((curve.last().unwrap().1 - 1.0).abs() < 1e-12);
+        // Top 10% of 10 accessed vertices = the single hottest one: 100/171.
+        assert!((curve[0].1 - 100.0 / 171.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn top_fraction_selects_hottest() {
+        let c = counter_with(&[1, 9, 3, 7]);
+        assert_eq!(c.top_fraction(0.25), vec![1]);
+        assert_eq!(c.top_fraction(0.5), vec![1, 3]);
+        assert_eq!(c.top_fraction(1.0), vec![1, 3, 2, 0]);
+    }
+
+    #[test]
+    fn empty_counter() {
+        let c = AccessCounter::new(4);
+        assert!(c.ranked().is_empty());
+        assert_eq!(c.coverage_curve(&[0.5])[0].1, 0.0);
+        assert!(c.top_fraction(0.5).is_empty());
+    }
+
+    #[test]
+    fn weighted_ranking_reorders_by_traffic() {
+        // Vertex 0: 10 accesses × 4 bytes = 40; vertex 1: 2 × 100 = 200.
+        let c = counter_with(&[10, 2]);
+        let bytes = |v: VertexId| if v == 0 { 4 } else { 100 };
+        assert_eq!(c.ranked_weighted(bytes), vec![(1, 200), (0, 40)]);
+        let curve = c.coverage_curve_weighted(&[0.5, 1.0], bytes);
+        assert!((curve[0].1 - 200.0 / 240.0).abs() < 1e-12);
+        assert!((curve[1].1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_curve_empty() {
+        let c = AccessCounter::new(3);
+        assert_eq!(c.coverage_curve_weighted(&[0.5], |_| 8)[0].1, 0.0);
+    }
+
+    #[test]
+    fn parallel_recording() {
+        let c = std::sync::Arc::new(AccessCounter::new(2));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        c.record(0);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.count(0), 4000);
+    }
+}

@@ -1,0 +1,329 @@
+//! Sorted-set intersection kernels.
+//!
+//! The inner loop of WCOJ matching intersects a sorted candidate buffer
+//! against a neighbor view (one or two sorted runs — see
+//! [`gcsm_graph::NeighborView`]). Three kernels are provided:
+//!
+//! * **merge** — classic two-finger merge, `O(|a| + |b|)`;
+//! * **gallop** — per-candidate exponential+binary search, `O(|a| log |b|)`,
+//!   the right choice when the candidate buffer is much smaller than the
+//!   list;
+//! * **blocked** — merge with a 4-way unrolled comparison block, mirroring
+//!   STMatch's "unrolled set intersection with SIMD parallelism" (Sec. V-C).
+//!
+//! [`IntersectAlgo::Auto`] picks gallop when `32·|a| < |b|` (the standard
+//! crossover) and blocked merge otherwise. All kernels return the same
+//! result and charge the same *model* cost metric through [`CostCounter`],
+//! so engine comparisons never depend on kernel choice — the kernels exist
+//! for the wall-clock ablation bench.
+
+use gcsm_graph::{decode_neighbor, is_tombstone, NeighborRun, NeighborView, VertexId};
+
+/// Intersection kernel selector.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum IntersectAlgo {
+    Merge,
+    Gallop,
+    Blocked,
+    /// Size-ratio dispatch between `Gallop` and `Blocked`.
+    #[default]
+    Auto,
+}
+
+/// Accumulates the model cost (element operations) of intersections.
+#[derive(Debug, Default)]
+pub struct CostCounter {
+    pub ops: u64,
+}
+
+impl CostCounter {
+    #[inline]
+    fn charge(&mut self, n: u64) {
+        self.ops += n;
+    }
+}
+
+#[inline]
+fn log2_ceil(n: usize) -> u64 {
+    (usize::BITS - n.max(1).leading_zeros()) as u64
+}
+
+/// Materialize a view into `out` as decoded, sorted vertex ids.
+/// Model cost: every raw entry is read once.
+pub fn materialize(view: &NeighborView<'_>, out: &mut Vec<VertexId>, cost: &mut CostCounter) {
+    out.clear();
+    cost.charge(view.raw_len() as u64);
+    out.extend(view.iter_sorted());
+}
+
+/// Filter the sorted candidate buffer `cands` in place, keeping the
+/// elements present in `view`. The model cost is the cheaper of the merge
+/// and gallop costs (deterministic: depends only on sizes), regardless of
+/// the kernel actually run.
+pub fn filter_in_place(
+    cands: &mut Vec<VertexId>,
+    view: &NeighborView<'_>,
+    algo: IntersectAlgo,
+    cost: &mut CostCounter,
+) {
+    let merge_cost = cands.len() as u64 + view.raw_len() as u64;
+    let gallop_cost = cands.len() as u64 * (log2_ceil(view.raw_len()) + 1);
+    cost.charge(merge_cost.min(gallop_cost));
+
+    let algo = match algo {
+        IntersectAlgo::Auto => {
+            if cands.len() * 32 < view.raw_len() {
+                IntersectAlgo::Gallop
+            } else {
+                IntersectAlgo::Blocked
+            }
+        }
+        a => a,
+    };
+    match algo {
+        IntersectAlgo::Gallop => {
+            let tail = view.tail_run();
+            cands.retain(|&c| view.prefix.contains(c) || tail.is_some_and(|t| t.contains(c)));
+        }
+        IntersectAlgo::Merge => {
+            let kept = merge_filter(cands, &view.prefix, view.tail_run().as_ref());
+            *cands = kept;
+        }
+        IntersectAlgo::Blocked => {
+            let kept = blocked_filter(cands, &view.prefix, view.tail_run().as_ref());
+            *cands = kept;
+        }
+        IntersectAlgo::Auto => unreachable!(),
+    }
+}
+
+/// Two-finger merge of `cands` against the (up to two) runs of a view.
+/// Runs hold disjoint id sets, so a candidate is kept if it matches either.
+fn merge_filter(
+    cands: &[VertexId],
+    prefix: &NeighborRun<'_>,
+    tail: Option<&NeighborRun<'_>>,
+) -> Vec<VertexId> {
+    let mut hits = merge_run(cands, prefix);
+    if let Some(t) = tail {
+        let tail_hits = merge_run(cands, t);
+        hits = merge_union(&hits, &tail_hits);
+    }
+    hits
+}
+
+fn merge_run(cands: &[VertexId], run: &NeighborRun<'_>) -> Vec<VertexId> {
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    let data = run.data;
+    while i < cands.len() && j < data.len() {
+        if run.skip_tombstones && is_tombstone(data[j]) {
+            j += 1;
+            continue;
+        }
+        let d = decode_neighbor(data[j]);
+        match cands[i].cmp(&d) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(cands[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Union of two sorted disjoint hit lists.
+fn merge_union(a: &[VertexId], b: &[VertexId]) -> Vec<VertexId> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() || j < b.len() {
+        match (a.get(i), b.get(j)) {
+            (Some(&x), Some(&y)) => {
+                if x < y {
+                    out.push(x);
+                    i += 1;
+                } else {
+                    out.push(y);
+                    j += 1;
+                }
+            }
+            (Some(&x), None) => {
+                out.push(x);
+                i += 1;
+            }
+            (None, Some(&y)) => {
+                out.push(y);
+                j += 1;
+            }
+            (None, None) => unreachable!(),
+        }
+    }
+    out
+}
+
+/// Merge with a 4-wide unrolled skip block: when the current candidate is
+/// far ahead of the run cursor, compare against 4 entries at once and skip
+/// whole blocks. This is the scalar analog of STMatch's warp-parallel
+/// unrolled intersection.
+fn blocked_filter(
+    cands: &[VertexId],
+    prefix: &NeighborRun<'_>,
+    tail: Option<&NeighborRun<'_>>,
+) -> Vec<VertexId> {
+    let mut hits = blocked_run(cands, prefix);
+    if let Some(t) = tail {
+        let tail_hits = blocked_run(cands, t);
+        hits = merge_union(&hits, &tail_hits);
+    }
+    hits
+}
+
+fn blocked_run(cands: &[VertexId], run: &NeighborRun<'_>) -> Vec<VertexId> {
+    let data = run.data;
+    let mut out = Vec::new();
+    let mut j = 0usize;
+    for &c in cands {
+        // Skip 4-entry blocks whose last element is still below c.
+        while j + 4 <= data.len() && decode_neighbor(data[j + 3]) < c {
+            j += 4;
+        }
+        while j < data.len() {
+            let d = decode_neighbor(data[j]);
+            if d < c {
+                j += 1;
+            } else {
+                if d == c && !(run.skip_tombstones && is_tombstone(data[j])) {
+                    out.push(c);
+                }
+                break;
+            }
+        }
+        if j == data.len() {
+            break;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcsm_graph::encode_tombstone;
+
+    fn view_plain(data: &[u32]) -> NeighborView<'_> {
+        NeighborView::plain(data)
+    }
+
+    fn run_all_algos(cands: &[u32], view: &NeighborView<'_>) -> Vec<Vec<u32>> {
+        [IntersectAlgo::Merge, IntersectAlgo::Gallop, IntersectAlgo::Blocked, IntersectAlgo::Auto]
+            .iter()
+            .map(|&a| {
+                let mut c = cands.to_vec();
+                let mut cost = CostCounter::default();
+                filter_in_place(&mut c, view, a, &mut cost);
+                c
+            })
+            .collect()
+    }
+
+    #[test]
+    fn all_kernels_agree_on_plain_lists() {
+        let data = vec![1u32, 3, 5, 7, 9, 11, 13];
+        let cands = vec![0u32, 3, 4, 7, 13, 20];
+        let results = run_all_algos(&cands, &view_plain(&data));
+        for r in &results {
+            assert_eq!(r, &vec![3, 7, 13]);
+        }
+    }
+
+    #[test]
+    fn kernels_respect_tombstones_and_tails() {
+        let prefix = vec![1u32, encode_tombstone(3), 5];
+        let tail = vec![2u32, 8];
+        let view = NeighborView::new_view(&prefix, &tail);
+        let cands = vec![1u32, 2, 3, 5, 8];
+        for r in run_all_algos(&cands, &view) {
+            assert_eq!(r, vec![1, 2, 5, 8]); // 3 is deleted
+        }
+    }
+
+    #[test]
+    fn old_view_keeps_tombstoned_entries() {
+        let prefix = vec![1u32, encode_tombstone(3), 5];
+        let view = NeighborView::old(&prefix);
+        let cands = vec![3u32];
+        for r in run_all_algos(&cands, &view) {
+            assert_eq!(r, vec![3]);
+        }
+    }
+
+    #[test]
+    fn empty_operands() {
+        let view = view_plain(&[]);
+        let mut cands = vec![1u32, 2];
+        let mut cost = CostCounter::default();
+        filter_in_place(&mut cands, &view, IntersectAlgo::Auto, &mut cost);
+        assert!(cands.is_empty());
+
+        let data = vec![1u32, 2];
+        let view = view_plain(&data);
+        let mut cands: Vec<u32> = vec![];
+        filter_in_place(&mut cands, &view, IntersectAlgo::Auto, &mut cost);
+        assert!(cands.is_empty());
+    }
+
+    #[test]
+    fn materialize_decodes_and_merges() {
+        let prefix = vec![2u32, encode_tombstone(4), 9];
+        let tail = vec![3u32, 10];
+        let view = NeighborView::new_view(&prefix, &tail);
+        let mut out = Vec::new();
+        let mut cost = CostCounter::default();
+        materialize(&view, &mut out, &mut cost);
+        assert_eq!(out, vec![2, 3, 9, 10]);
+        assert_eq!(cost.ops, 5); // 3 prefix + 2 tail raw entries
+    }
+
+    #[test]
+    fn cost_is_min_of_merge_and_gallop() {
+        let data: Vec<u32> = (0..1024).collect();
+        let view = view_plain(&data);
+        let mut cands = vec![512u32];
+        let mut cost = CostCounter::default();
+        filter_in_place(&mut cands, &view, IntersectAlgo::Auto, &mut cost);
+        // gallop cost = 1 * (log2_ceil(1024)+1) = 12; merge cost = 1025.
+        assert_eq!(cost.ops, 12);
+    }
+
+    #[test]
+    fn randomized_kernel_agreement() {
+        use rand::{rngs::SmallRng, Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(42);
+        for _ in 0..200 {
+            let n = rng.gen_range(0..60);
+            let m = rng.gen_range(0..60);
+            let mut data: Vec<u32> = (0..n).map(|_| rng.gen_range(0..100)).collect();
+            data.sort_unstable();
+            data.dedup();
+            let mut cands: Vec<u32> = (0..m).map(|_| rng.gen_range(0..100)).collect();
+            cands.sort_unstable();
+            cands.dedup();
+            // Split data into prefix + tail with tombstones in the prefix.
+            let split = data.len() / 2;
+            let prefix: Vec<u32> = data[..split]
+                .iter()
+                .map(|&v| if rng.gen_bool(0.3) { encode_tombstone(v) } else { v })
+                .collect();
+            let tail: Vec<u32> = data[split..].to_vec();
+            let view = NeighborView::new_view(&prefix, &tail);
+            let expect: Vec<u32> =
+                cands.iter().copied().filter(|&c| view.contains(c)).collect();
+            for r in run_all_algos(&cands, &view) {
+                assert_eq!(r, expect);
+            }
+        }
+    }
+}

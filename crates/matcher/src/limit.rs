@@ -1,0 +1,155 @@
+//! Budgeted matching: stop enumeration once enough matches have been seen.
+//!
+//! Interactive CSM deployments (alerting, dashboards) often only need to
+//! know *that* a pattern appeared, or want the first `k` instances — not
+//! the exhaustive count. This driver runs the delta plans seed by seed and
+//! stops at seed granularity once the budget is met, reporting whether the
+//! result was truncated.
+
+use crate::driver::delta_seeds;
+use crate::enumerate::{match_from_seed, Scratch};
+use crate::intersect::IntersectAlgo;
+use crate::source::NeighborSource;
+use crate::stats::MatchStats;
+use gcsm_graph::{EdgeUpdate, VertexId};
+use gcsm_pattern::{compile_incremental, PlanOptions, QueryGraph};
+
+/// Result of a budgeted run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LimitedResult {
+    /// Stats accumulated before stopping.
+    pub stats: MatchStats,
+    /// The collected matches: data-vertex bindings (in plan order) + sign.
+    pub matches: Vec<(Vec<VertexId>, i64)>,
+    /// True if enumeration stopped early (more matches may exist).
+    pub truncated: bool,
+}
+
+/// Incremental matching that stops (at seed granularity) once at least
+/// `limit` matches have been emitted. `limit = 0` returns immediately.
+pub fn match_incremental_limited<S: NeighborSource>(
+    src: &S,
+    q: &QueryGraph,
+    batch: &[EdgeUpdate],
+    plan_opts: PlanOptions,
+    algo: IntersectAlgo,
+    limit: usize,
+) -> LimitedResult {
+    let mut out = LimitedResult {
+        stats: MatchStats::default(),
+        matches: Vec::new(),
+        truncated: false,
+    };
+    if limit == 0 {
+        out.truncated = true;
+        return out;
+    }
+    let plans = compile_incremental(q, plan_opts);
+    let tasks = delta_seeds(&plans, batch);
+    let mut scratch = Scratch::default();
+    for (i, &(pi, a, b, sign)) in tasks.iter().enumerate() {
+        let matches = &mut out.matches;
+        let s = match_from_seed(src, &plans[pi], a, b, sign, algo, &mut scratch, &mut |m, sg| {
+            matches.push((m.to_vec(), sg));
+        });
+        out.stats.merge(s);
+        if out.matches.len() >= limit {
+            out.truncated = i + 1 < tasks.len();
+            break;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::DynSource;
+    use gcsm_graph::{CsrGraph, DynamicGraph};
+    use gcsm_pattern::queries;
+
+    fn dense_case() -> (DynamicGraph, Vec<EdgeUpdate>) {
+        // K6 missing one edge; the batch inserts it → many new triangles.
+        let mut edges = Vec::new();
+        for a in 0..6u32 {
+            for b in (a + 1)..6 {
+                if (a, b) != (4, 5) {
+                    edges.push((a, b));
+                }
+            }
+        }
+        let mut g = DynamicGraph::from_csr(&CsrGraph::from_edges(6, &edges));
+        let s = g.apply_batch(&[EdgeUpdate::insert(4, 5)]);
+        (g, s.applied)
+    }
+
+    #[test]
+    fn unlimited_run_is_exhaustive() {
+        let (g, batch) = dense_case();
+        let src = DynSource::new(&g);
+        let r = match_incremental_limited(
+            &src,
+            &queries::triangle(),
+            &batch,
+            PlanOptions::default(),
+            IntersectAlgo::Auto,
+            usize::MAX,
+        );
+        assert!(!r.truncated);
+        // New triangles through (4,5): 4 common neighbors × 6 embeddings.
+        assert_eq!(r.stats.matches, 24);
+        assert_eq!(r.matches.len(), 24);
+    }
+
+    #[test]
+    fn limit_truncates_early() {
+        let (g, batch) = dense_case();
+        let src = DynSource::new(&g);
+        let r = match_incremental_limited(
+            &src,
+            &queries::triangle(),
+            &batch,
+            PlanOptions::default(),
+            IntersectAlgo::Auto,
+            3,
+        );
+        assert!(r.truncated);
+        assert!(r.matches.len() >= 3);
+        assert!(r.matches.len() < 24);
+    }
+
+    #[test]
+    fn zero_limit_short_circuits() {
+        let (g, batch) = dense_case();
+        let src = DynSource::new(&g);
+        let r = match_incremental_limited(
+            &src,
+            &queries::triangle(),
+            &batch,
+            PlanOptions::default(),
+            IntersectAlgo::Auto,
+            0,
+        );
+        assert!(r.truncated);
+        assert!(r.matches.is_empty());
+        assert_eq!(r.stats.intersect_ops, 0);
+    }
+
+    #[test]
+    fn exact_boundary_is_not_truncated() {
+        let (g, batch) = dense_case();
+        let src = DynSource::new(&g);
+        let r = match_incremental_limited(
+            &src,
+            &queries::triangle(),
+            &batch,
+            PlanOptions::default(),
+            IntersectAlgo::Auto,
+            24,
+        );
+        // All 24 found; whether truncated depends on whether later seeds
+        // remained — the last seed of the only productive plan may not be
+        // the global last. Accept either, but the count must be complete.
+        assert_eq!(r.matches.len(), 24);
+    }
+}

@@ -1,0 +1,179 @@
+//! Neighbor-list providers.
+//!
+//! The enumerators are generic over [`NeighborSource`]: the same loop nest
+//! runs against a CSR snapshot (reference matcher), a sealed
+//! [`DynamicGraph`] (CPU baselines), or — in the `gcsm` core crate — a
+//! cached/zero-copy/unified-memory source that records simulated GPU
+//! traffic per access.
+
+use crate::access::AccessCounter;
+use gcsm_graph::{CsrGraph, DynamicGraph, Label, NeighborView, VertexId};
+use gcsm_pattern::ViewSel;
+
+/// Provider of the two neighbor views, plus the vertex metadata the
+/// enumerators need.
+pub trait NeighborSource: Sync {
+    /// Neighbor view of `v` under `sel` (`Old` = the paper's `N`,
+    /// `New` = `N'`). Implementations record any traffic costs here.
+    fn view(&self, v: VertexId, sel: ViewSel) -> NeighborView<'_>;
+
+    /// Vertex label.
+    fn label(&self, v: VertexId) -> Label;
+
+    /// Number of vertices.
+    fn num_vertices(&self) -> usize;
+
+    /// Upper bound on the max degree (the estimator's `D`).
+    fn max_degree(&self) -> usize;
+}
+
+/// Source over an immutable CSR snapshot: both views are the same plain
+/// sorted list.
+pub struct CsrSource<'a> {
+    graph: &'a CsrGraph,
+}
+
+impl<'a> CsrSource<'a> {
+    pub fn new(graph: &'a CsrGraph) -> Self {
+        Self { graph }
+    }
+
+    /// The underlying snapshot.
+    pub fn graph(&self) -> &CsrGraph {
+        self.graph
+    }
+}
+
+impl NeighborSource for CsrSource<'_> {
+    #[inline]
+    fn view(&self, v: VertexId, _sel: ViewSel) -> NeighborView<'_> {
+        NeighborView::plain(self.graph.neighbors(v))
+    }
+
+    #[inline]
+    fn label(&self, v: VertexId) -> Label {
+        self.graph.label(v)
+    }
+
+    fn num_vertices(&self) -> usize {
+        self.graph.num_vertices()
+    }
+
+    fn max_degree(&self) -> usize {
+        self.graph.max_degree()
+    }
+}
+
+/// Source over a sealed dynamic graph: `Old` and `New` are the real pre- and
+/// post-batch views. This is the CPU baseline's direct-memory source.
+pub struct DynSource<'a> {
+    graph: &'a DynamicGraph,
+}
+
+impl<'a> DynSource<'a> {
+    pub fn new(graph: &'a DynamicGraph) -> Self {
+        Self { graph }
+    }
+
+    pub fn graph(&self) -> &DynamicGraph {
+        self.graph
+    }
+}
+
+impl NeighborSource for DynSource<'_> {
+    #[inline]
+    fn view(&self, v: VertexId, sel: ViewSel) -> NeighborView<'_> {
+        match sel {
+            ViewSel::Old => self.graph.old_view(v),
+            ViewSel::New => self.graph.new_view(v),
+        }
+    }
+
+    #[inline]
+    fn label(&self, v: VertexId) -> Label {
+        self.graph.label(v)
+    }
+
+    fn num_vertices(&self) -> usize {
+        self.graph.num_vertices()
+    }
+
+    fn max_degree(&self) -> usize {
+        self.graph.max_degree_bound()
+    }
+}
+
+/// Decorator that counts per-vertex accesses on top of any source — the
+/// exact access-frequency oracle of Fig. 15 (`C_v` of Theorem 1).
+pub struct RecordingSource<'a, S: NeighborSource> {
+    inner: &'a S,
+    counter: &'a AccessCounter,
+}
+
+impl<'a, S: NeighborSource> RecordingSource<'a, S> {
+    pub fn new(inner: &'a S, counter: &'a AccessCounter) -> Self {
+        Self { inner, counter }
+    }
+}
+
+impl<S: NeighborSource> NeighborSource for RecordingSource<'_, S> {
+    #[inline]
+    fn view(&self, v: VertexId, sel: ViewSel) -> NeighborView<'_> {
+        self.counter.record(v);
+        self.inner.view(v, sel)
+    }
+
+    #[inline]
+    fn label(&self, v: VertexId) -> Label {
+        self.inner.label(v)
+    }
+
+    fn num_vertices(&self) -> usize {
+        self.inner.num_vertices()
+    }
+
+    fn max_degree(&self) -> usize {
+        self.inner.max_degree()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcsm_graph::EdgeUpdate;
+
+    #[test]
+    fn csr_source_views_coincide() {
+        let g = CsrGraph::from_edges(3, &[(0, 1), (1, 2)]);
+        let s = CsrSource::new(&g);
+        assert_eq!(s.view(1, ViewSel::Old).to_vec(), s.view(1, ViewSel::New).to_vec());
+        assert_eq!(s.num_vertices(), 3);
+        assert_eq!(s.max_degree(), 2);
+    }
+
+    #[test]
+    fn dyn_source_distinguishes_views() {
+        let mut g = DynamicGraph::from_csr(&CsrGraph::from_edges(3, &[(0, 1), (1, 2)]));
+        g.begin_batch();
+        g.apply(EdgeUpdate::insert(0, 2));
+        g.apply(EdgeUpdate::delete(1, 2));
+        g.seal_batch();
+        let s = DynSource::new(&g);
+        assert_eq!(s.view(2, ViewSel::Old).to_vec(), vec![1]);
+        assert_eq!(s.view(2, ViewSel::New).to_vec(), vec![0]);
+    }
+
+    #[test]
+    fn recording_source_counts_accesses() {
+        let g = CsrGraph::from_edges(3, &[(0, 1), (1, 2)]);
+        let s = CsrSource::new(&g);
+        let c = AccessCounter::new(3);
+        let r = RecordingSource::new(&s, &c);
+        r.view(1, ViewSel::New);
+        r.view(1, ViewSel::Old);
+        r.view(2, ViewSel::New);
+        assert_eq!(c.count(1), 2);
+        assert_eq!(c.count(2), 1);
+        assert_eq!(c.count(0), 0);
+    }
+}

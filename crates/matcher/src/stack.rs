@@ -1,0 +1,246 @@
+//! STMatch-style iterative enumerator.
+//!
+//! STMatch \[9\] — the kernel the paper's GPU matcher is built on — replaces
+//! recursion with an explicit per-level stack of candidate arrays and a
+//! cursor per level, so a GPU thread block can run the DFS without a call
+//! stack and idle blocks can steal subtrees. This module is the faithful
+//! CPU rendering of that control structure; it shares the candidate
+//! generation of [`crate::enumerate`] and is therefore result-equivalent to
+//! the recursive enumerator by construction (property-tested in the
+//! integration suite as well).
+
+use crate::enumerate::{gen_candidates, seed_admissible};
+use crate::intersect::{CostCounter, IntersectAlgo};
+use crate::source::NeighborSource;
+use crate::stats::MatchStats;
+use gcsm_graph::VertexId;
+use gcsm_pattern::MatchPlan;
+
+/// Per-level stack frame: the filtered candidate array plus a cursor
+/// (STMatch's "stack data structure to store intermediate subgraphs").
+#[derive(Default)]
+struct Frame {
+    cands: Vec<VertexId>,
+    cursor: usize,
+}
+
+/// Reusable frame stack.
+#[derive(Default)]
+pub struct StackScratch {
+    frames: Vec<Frame>,
+    bound: Vec<VertexId>,
+}
+
+/// Iterative equivalent of [`crate::enumerate::match_from_seed`].
+#[allow(clippy::too_many_arguments)]
+pub fn match_from_seed_stack<S, F>(
+    src: &S,
+    plan: &MatchPlan,
+    x0: VertexId,
+    x1: VertexId,
+    sign: i64,
+    algo: IntersectAlgo,
+    scratch: &mut StackScratch,
+    emit: &mut F,
+) -> MatchStats
+where
+    S: NeighborSource,
+    F: FnMut(&[VertexId], i64),
+{
+    let mut stats = MatchStats::default();
+    if !seed_admissible(src, plan, x0, x1) {
+        return stats;
+    }
+    let depth = plan.levels.len();
+    if scratch.frames.len() < depth {
+        scratch.frames.resize_with(depth, Frame::default);
+    }
+    scratch.bound.clear();
+    scratch.bound.push(x0);
+    scratch.bound.push(x1);
+
+    if depth == 0 {
+        // Two-vertex pattern: the seed is the whole match.
+        stats.matches += sign;
+        emit(&scratch.bound, sign);
+        return stats;
+    }
+
+    let mut cost = CostCounter::default();
+    // Enter level 0.
+    {
+        let frame = &mut scratch.frames[0];
+        let mut cands = std::mem::take(&mut frame.cands);
+        gen_candidates(src, plan, 0, &scratch.bound, algo, &mut cands, &mut cost, &mut stats);
+        frame.cands = cands;
+        frame.cursor = 0;
+    }
+    let mut level = 0usize;
+    loop {
+        let frame = &mut scratch.frames[level];
+        if frame.cursor >= frame.cands.len() {
+            // Exhausted: backtrack.
+            if level == 0 {
+                break;
+            }
+            level -= 1;
+            scratch.bound.pop();
+            continue;
+        }
+        let cand = frame.cands[frame.cursor];
+        frame.cursor += 1;
+        if level + 1 == depth {
+            // Innermost loop: output the match.
+            scratch.bound.push(cand);
+            stats.matches += sign;
+            emit(&scratch.bound, sign);
+            scratch.bound.pop();
+        } else {
+            scratch.bound.push(cand);
+            level += 1;
+            let frame = &mut scratch.frames[level];
+            let mut cands = std::mem::take(&mut frame.cands);
+            gen_candidates(
+                src,
+                plan,
+                level,
+                &scratch.bound,
+                algo,
+                &mut cands,
+                &mut cost,
+                &mut stats,
+            );
+            let frame = &mut scratch.frames[level];
+            frame.cands = cands;
+            frame.cursor = 0;
+        }
+    }
+    stats.intersect_ops += cost.ops;
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate::{match_from_seed, Scratch};
+    use crate::source::CsrSource;
+    use gcsm_graph::CsrGraph;
+    use gcsm_pattern::{compile_static, queries, PlanOptions, QueryGraph};
+    use rand::{rngs::SmallRng, Rng, SeedableRng};
+
+    fn random_graph(n: usize, p: f64, seed: u64) -> CsrGraph {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut edges = Vec::new();
+        for a in 0..n as u32 {
+            for b in a + 1..n as u32 {
+                if rng.gen_bool(p) {
+                    edges.push((a, b));
+                }
+            }
+        }
+        CsrGraph::from_edges(n, &edges)
+    }
+
+    fn compare_enumerators(g: &CsrGraph, q: &QueryGraph, sb: bool) {
+        let plan = compile_static(q, PlanOptions { symmetry_break: sb });
+        let src = CsrSource::new(g);
+        let mut rs = Scratch::default();
+        let mut ss = StackScratch::default();
+        let mut rec_total = MatchStats::default();
+        let mut stk_total = MatchStats::default();
+        let mut rec_matches = Vec::new();
+        let mut stk_matches = Vec::new();
+        for (u, v) in g.edges().collect::<Vec<_>>() {
+            for (a, b) in [(u, v), (v, u)] {
+                rec_total.merge(match_from_seed(
+                    &src,
+                    &plan,
+                    a,
+                    b,
+                    1,
+                    IntersectAlgo::Auto,
+                    &mut rs,
+                    &mut |m, _| rec_matches.push(m.to_vec()),
+                ));
+                stk_total.merge(match_from_seed_stack(
+                    &src,
+                    &plan,
+                    a,
+                    b,
+                    1,
+                    IntersectAlgo::Auto,
+                    &mut ss,
+                    &mut |m, _| stk_matches.push(m.to_vec()),
+                ));
+            }
+        }
+        rec_matches.sort();
+        stk_matches.sort();
+        assert_eq!(rec_matches, stk_matches, "{} sb={}", q.name(), sb);
+        assert_eq!(rec_total, stk_total, "{} sb={} stats diverge", q.name(), sb);
+    }
+
+    #[test]
+    fn stack_equals_recursive_on_random_graphs() {
+        for seed in 0..5 {
+            let g = random_graph(18, 0.3, seed);
+            for q in [queries::triangle(), queries::fig1_kite(), queries::q1()] {
+                compare_enumerators(&g, &q, false);
+                compare_enumerators(&g, &q, true);
+            }
+        }
+    }
+
+    #[test]
+    fn stack_handles_two_vertex_pattern() {
+        let g = CsrGraph::from_edges(3, &[(0, 1), (1, 2)]);
+        let q = QueryGraph::new("edge", 2, &[(0, 1)]);
+        let plan = compile_static(&q, PlanOptions::default());
+        let src = CsrSource::new(&g);
+        let mut ss = StackScratch::default();
+        let mut count = 0;
+        for (u, v) in [(0u32, 1u32), (1, 0), (1, 2), (2, 1)] {
+            count += match_from_seed_stack(
+                &src,
+                &plan,
+                u,
+                v,
+                1,
+                IntersectAlgo::Auto,
+                &mut ss,
+                &mut |_, _| {},
+            )
+            .matches;
+        }
+        assert_eq!(count, 4); // 2 edges × 2 orientations
+    }
+
+    #[test]
+    fn scratch_reuse_across_calls_is_clean() {
+        let g = random_graph(12, 0.5, 7);
+        let q = queries::q2();
+        let plan = compile_static(&q, PlanOptions::default());
+        let src = CsrSource::new(&g);
+        let mut ss = StackScratch::default();
+        let edges: Vec<_> = g.edges().collect();
+        let mut first = Vec::new();
+        let mut second = Vec::new();
+        for pass in 0..2 {
+            let out = if pass == 0 { &mut first } else { &mut second };
+            for &(u, v) in &edges {
+                let s = match_from_seed_stack(
+                    &src,
+                    &plan,
+                    u,
+                    v,
+                    1,
+                    IntersectAlgo::Auto,
+                    &mut ss,
+                    &mut |_, _| {},
+                );
+                out.push(s.matches);
+            }
+        }
+        assert_eq!(first, second);
+    }
+}

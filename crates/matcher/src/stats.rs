@@ -1,0 +1,53 @@
+//! Matching statistics: signed match counts plus cost-model inputs.
+
+/// Result of one matching task.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MatchStats {
+    /// Signed number of matches. For static matching this is the embedding
+    /// (or unique-subgraph) count; for incremental matching it is the net
+    /// `ΔM` — insertions contribute `+1` per match, deletions `−1`.
+    pub matches: i64,
+    /// Set-intersection element operations performed (the cost-model's
+    /// compute unit; identical formula for every engine).
+    pub intersect_ops: u64,
+    /// Neighbor-list accesses issued to the [`crate::NeighborSource`].
+    pub list_accesses: u64,
+}
+
+impl MatchStats {
+    /// Accumulate another task's stats.
+    pub fn merge(&mut self, other: MatchStats) {
+        self.matches += other.matches;
+        self.intersect_ops += other.intersect_ops;
+        self.list_accesses += other.list_accesses;
+    }
+}
+
+impl std::ops::Add for MatchStats {
+    type Output = MatchStats;
+    fn add(mut self, rhs: Self) -> Self {
+        self.merge(rhs);
+        self
+    }
+}
+
+impl std::iter::Sum for MatchStats {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(MatchStats::default(), |a, b| a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_and_sum() {
+        let a = MatchStats { matches: 3, intersect_ops: 10, list_accesses: 2 };
+        let b = MatchStats { matches: -1, intersect_ops: 5, list_accesses: 1 };
+        let s: MatchStats = [a, b].into_iter().sum();
+        assert_eq!(s.matches, 2);
+        assert_eq!(s.intersect_ops, 15);
+        assert_eq!(s.list_accesses, 3);
+    }
+}

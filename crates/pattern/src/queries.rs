@@ -1,0 +1,157 @@
+//! The evaluation query set.
+//!
+//! The paper's Fig. 7 shows six queries "from size-5 to size-7"; the figure
+//! itself is an image unavailable in our source text, so we substitute the
+//! standard GPM benchmark shapes of matching sizes (documented in
+//! DESIGN.md §2). Every query is connected and unlabeled, like the paper's
+//! (SNAP/LDBC graphs carry no labels in the evaluation).
+
+use crate::query::QueryGraph;
+
+/// Q1 — size 5: the "house" (4-cycle with a triangular roof), 6 edges.
+pub fn q1() -> QueryGraph {
+    QueryGraph::new("Q1", 5, &[(0, 1), (1, 2), (2, 3), (0, 3), (0, 4), (1, 4)])
+}
+
+/// Q2 — size 5: chain of three triangles sharing edges, 7 edges.
+pub fn q2() -> QueryGraph {
+    QueryGraph::new("Q2", 5, &[(0, 1), (0, 2), (1, 2), (1, 3), (2, 3), (2, 4), (3, 4)])
+}
+
+/// Q3 — size 6: chain of four edge-sharing triangles, 9 edges.
+pub fn q3() -> QueryGraph {
+    QueryGraph::new(
+        "Q3",
+        6,
+        &[(0, 1), (0, 2), (1, 2), (1, 3), (2, 3), (2, 4), (3, 4), (3, 5), (4, 5)],
+    )
+}
+
+/// Q4 — size 6: two triangles sharing a vertex plus a connecting edge
+/// ("bowtie with a bar"), 8 edges.
+pub fn q4() -> QueryGraph {
+    QueryGraph::new(
+        "Q4",
+        6,
+        &[(0, 1), (0, 2), (1, 2), (2, 3), (2, 4), (3, 4), (3, 5), (4, 5)],
+    )
+}
+
+/// Q5 — size 7: a 5-clique core with a 2-path tail, 12 edges.
+pub fn q5() -> QueryGraph {
+    QueryGraph::new(
+        "Q5",
+        7,
+        &[
+            (0, 1),
+            (0, 2),
+            (0, 3),
+            (1, 2),
+            (1, 3),
+            (2, 3),
+            (3, 4),
+            (2, 4),
+            (4, 5),
+            (3, 5),
+            (5, 6),
+            (4, 6),
+        ],
+    )
+}
+
+/// Q6 — size 7: chain of five edge-sharing triangles, 11 edges.
+pub fn q6() -> QueryGraph {
+    QueryGraph::new(
+        "Q6",
+        7,
+        &[
+            (0, 1),
+            (0, 2),
+            (1, 2),
+            (1, 3),
+            (2, 3),
+            (2, 4),
+            (3, 4),
+            (3, 5),
+            (4, 5),
+            (4, 6),
+            (5, 6),
+        ],
+    )
+}
+
+/// The full evaluation set in paper order.
+pub fn all() -> Vec<QueryGraph> {
+    vec![q1(), q2(), q3(), q4(), q5(), q6()]
+}
+
+/// A query by name ("Q1".."Q6"), if known.
+pub fn by_name(name: &str) -> Option<QueryGraph> {
+    match name {
+        "Q1" => Some(q1()),
+        "Q2" => Some(q2()),
+        "Q3" => Some(q3()),
+        "Q4" => Some(q4()),
+        "Q5" => Some(q5()),
+        "Q6" => Some(q6()),
+        _ => None,
+    }
+}
+
+/// The running-example query of the paper's Fig. 1: a kite on 4 vertices
+/// (edges (u0,u1),(u0,u2),(u1,u2),(u1,u3),(u2,u3)).
+pub fn fig1_kite() -> QueryGraph {
+    QueryGraph::new("kite", 4, &[(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)])
+}
+
+/// Triangle — the smallest useful pattern; used pervasively in tests.
+pub fn triangle() -> QueryGraph {
+    QueryGraph::new("triangle", 3, &[(0, 1), (0, 2), (1, 2)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_match_paper_range() {
+        let qs = all();
+        assert_eq!(qs.len(), 6);
+        let sizes: Vec<usize> = qs.iter().map(|q| q.num_vertices()).collect();
+        assert_eq!(sizes, vec![5, 5, 6, 6, 7, 7]);
+        for q in &qs {
+            assert!(q.num_edges() >= q.num_vertices()); // all denser than trees
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert_eq!(by_name("Q3").unwrap().name(), "Q3");
+        assert!(by_name("Q9").is_none());
+    }
+
+    #[test]
+    fn queries_are_pairwise_nonisomorphic() {
+        let qs = all();
+        for i in 0..qs.len() {
+            for j in i + 1..qs.len() {
+                if qs[i].num_vertices() == qs[j].num_vertices() {
+                    assert_ne!(
+                        qs[i].canonical_form(),
+                        qs[j].canonical_form(),
+                        "{} ≅ {}",
+                        qs[i].name(),
+                        qs[j].name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kite_matches_fig1() {
+        let k = fig1_kite();
+        assert_eq!(k.num_edges(), 5);
+        assert_eq!(k.diameter(), 2);
+    }
+}

@@ -1,0 +1,328 @@
+//! Query pattern representation.
+
+use gcsm_graph::Label;
+
+/// Maximum supported pattern size. The paper evaluates sizes 5–7; 8 gives
+/// headroom for the extension benches while keeping bitmask adjacency.
+pub const MAX_PATTERN: usize = 8;
+
+/// A small connected undirected query pattern.
+///
+/// Edges carry a fixed **global index** `0..m` (the paper's relations
+/// `R_1..R_m`): the incremental decomposition `ΔM = Σ_i ΔM_i` of Eq. (1) is
+/// defined with respect to this numbering, and each delta plan `i` reads
+/// relations `j < i` through the old view and `j > i` through the new view.
+/// The numbering is the lexicographic order of `(min, max)` endpoint pairs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QueryGraph {
+    n: usize,
+    /// Adjacency bitmask per vertex.
+    adj: [u16; MAX_PATTERN],
+    /// Canonically ordered edge list; position = global edge index.
+    edges: Vec<(usize, usize)>,
+    labels: Vec<Label>,
+    name: String,
+}
+
+impl QueryGraph {
+    /// Build a pattern from an edge list. Panics on self loops, out-of-range
+    /// vertices, duplicate edges, or a disconnected pattern.
+    pub fn new(name: &str, n: usize, edges: &[(usize, usize)]) -> Self {
+        Self::with_labels(name, n, edges, vec![0; n])
+    }
+
+    /// Build a labeled pattern.
+    pub fn with_labels(
+        name: &str,
+        n: usize,
+        edges: &[(usize, usize)],
+        labels: Vec<Label>,
+    ) -> Self {
+        assert!((2..=MAX_PATTERN).contains(&n), "pattern size {n} out of range");
+        assert_eq!(labels.len(), n);
+        let mut canon: Vec<(usize, usize)> = edges
+            .iter()
+            .map(|&(a, b)| {
+                assert!(a < n && b < n, "edge ({a},{b}) out of range");
+                assert_ne!(a, b, "self loop in pattern");
+                (a.min(b), a.max(b))
+            })
+            .collect();
+        canon.sort_unstable();
+        canon.windows(2).for_each(|w| assert_ne!(w[0], w[1], "duplicate edge"));
+
+        let mut adj = [0u16; MAX_PATTERN];
+        for &(a, b) in &canon {
+            adj[a] |= 1 << b;
+            adj[b] |= 1 << a;
+        }
+        let q = Self { n, adj, edges: canon, labels, name: name.to_string() };
+        assert!(q.is_connected(), "pattern must be connected");
+        q
+    }
+
+    /// Parse a pattern from a compact edge-list string: `"0-1,1-2,0-2"`.
+    /// Vertex count is `max id + 1`. Errors (not panics) on malformed
+    /// input; structural violations (self loops, disconnected) still panic
+    /// in [`Self::new`].
+    pub fn parse(name: &str, spec: &str) -> Result<Self, String> {
+        let mut edges = Vec::new();
+        let mut max_v = 0usize;
+        for (i, part) in spec.split(',').enumerate() {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let (a, b) = part
+                .split_once('-')
+                .ok_or_else(|| format!("edge {i}: expected 'a-b', got '{part}'"))?;
+            let a: usize =
+                a.trim().parse().map_err(|e| format!("edge {i}: bad vertex '{a}': {e}"))?;
+            let b: usize =
+                b.trim().parse().map_err(|e| format!("edge {i}: bad vertex '{b}': {e}"))?;
+            max_v = max_v.max(a).max(b);
+            edges.push((a, b));
+        }
+        if edges.is_empty() {
+            return Err("no edges".into());
+        }
+        if max_v + 1 > MAX_PATTERN {
+            return Err(format!("pattern size {} exceeds {MAX_PATTERN}", max_v + 1));
+        }
+        Ok(Self::new(name, max_v + 1, &edges))
+    }
+
+    /// Pattern name (e.g. "Q3").
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of pattern vertices (`n` in the paper).
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Number of pattern edges (`m` in the paper).
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Canonically ordered edges; the slice index is the global edge index.
+    #[inline]
+    pub fn edges(&self) -> &[(usize, usize)] {
+        &self.edges
+    }
+
+    /// Neighbors of pattern vertex `u` as a bitmask.
+    #[inline]
+    pub fn adj_mask(&self, u: usize) -> u16 {
+        self.adj[u]
+    }
+
+    /// True if `(a, b)` is a pattern edge.
+    #[inline]
+    pub fn has_edge(&self, a: usize, b: usize) -> bool {
+        self.adj[a] & (1 << b) != 0
+    }
+
+    /// Degree of pattern vertex `u`.
+    #[inline]
+    pub fn degree(&self, u: usize) -> usize {
+        self.adj[u].count_ones() as usize
+    }
+
+    /// Label of pattern vertex `u`.
+    #[inline]
+    pub fn label(&self, u: usize) -> Label {
+        self.labels[u]
+    }
+
+    /// All labels.
+    pub fn labels(&self) -> &[Label] {
+        &self.labels
+    }
+
+    /// Global index of edge `(a, b)`; panics if absent.
+    pub fn edge_index(&self, a: usize, b: usize) -> usize {
+        let key = (a.min(b), a.max(b));
+        self.edges.binary_search(&key).expect("edge not in pattern")
+    }
+
+    /// Neighbors of `u` as an iterator.
+    pub fn neighbors(&self, u: usize) -> impl Iterator<Item = usize> + '_ {
+        let mask = self.adj[u];
+        (0..self.n).filter(move |&v| mask & (1 << v) != 0)
+    }
+
+    fn is_connected(&self) -> bool {
+        if self.n == 0 {
+            return false;
+        }
+        let mut seen = 1u16; // vertex 0
+        let mut frontier = vec![0usize];
+        while let Some(u) = frontier.pop() {
+            for v in self.neighbors(u) {
+                if seen & (1 << v) == 0 {
+                    seen |= 1 << v;
+                    frontier.push(v);
+                }
+            }
+        }
+        seen.count_ones() as usize == self.n
+    }
+
+    /// Graph diameter (max shortest-path length). VSGM copies the `k`-hop
+    /// neighborhood of the batch where `k` is this diameter.
+    pub fn diameter(&self) -> usize {
+        let mut best = 0;
+        for s in 0..self.n {
+            let mut dist = [usize::MAX; MAX_PATTERN];
+            dist[s] = 0;
+            let mut queue = std::collections::VecDeque::from([s]);
+            while let Some(u) = queue.pop_front() {
+                for v in self.neighbors(u) {
+                    if dist[v] == usize::MAX {
+                        dist[v] = dist[u] + 1;
+                        queue.push_back(v);
+                    }
+                }
+            }
+            best = best.max((0..self.n).map(|v| dist[v]).max().unwrap());
+        }
+        best
+    }
+
+    /// Canonical form: the lexicographically smallest adjacency bitstring
+    /// over all vertex permutations (labels included). Two patterns are
+    /// isomorphic iff their canonical forms match. Exponential, fine for
+    /// n ≤ 8.
+    pub fn canonical_form(&self) -> Vec<u64> {
+        let n = self.n;
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut best: Option<Vec<u64>> = None;
+        permute(&mut perm, 0, &mut |p| {
+            // encode: per vertex (in permuted order): label, then row bits
+            let mut code = Vec::with_capacity(n);
+            for i in 0..n {
+                let u = p[i];
+                let mut row = 0u64;
+                for (j, &v) in p.iter().enumerate().take(n) {
+                    if self.has_edge(u, v) {
+                        row |= 1 << j;
+                    }
+                }
+                code.push(((self.labels[u] as u64) << 32) | row);
+            }
+            if best.as_ref().map_or(true, |b| code < *b) {
+                best = Some(code);
+            }
+        });
+        best.unwrap()
+    }
+}
+
+/// Visit all permutations of `v[k..]` (Heap's-algorithm-free simple swap
+/// recursion; n ≤ 8 so at most 40320 leaves).
+pub(crate) fn permute<F: FnMut(&[usize])>(v: &mut Vec<usize>, k: usize, f: &mut F) {
+    if k == v.len() {
+        f(v);
+        return;
+    }
+    for i in k..v.len() {
+        v.swap(k, i);
+        permute(v, k + 1, f);
+        v.swap(k, i);
+    }
+}
+
+impl std::fmt::Display for QueryGraph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}(n={}, m={})", self.name, self.n, self.edges.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Fig. 1 query: a kite (4 vertices, 5 edges).
+    fn kite() -> QueryGraph {
+        QueryGraph::new("kite", 4, &[(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)])
+    }
+
+    #[test]
+    fn edge_indexing_is_lexicographic() {
+        let q = kite();
+        assert_eq!(q.edges(), &[(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)]);
+        assert_eq!(q.edge_index(2, 1), 2);
+        assert_eq!(q.edge_index(3, 2), 4);
+    }
+
+    #[test]
+    fn degrees_and_adjacency() {
+        let q = kite();
+        assert_eq!(q.degree(0), 2);
+        assert_eq!(q.degree(1), 3);
+        assert!(q.has_edge(1, 3));
+        assert!(!q.has_edge(0, 3));
+        assert_eq!(q.neighbors(1).collect::<Vec<_>>(), vec![0, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "connected")]
+    fn disconnected_rejected() {
+        QueryGraph::new("bad", 4, &[(0, 1), (2, 3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "self loop")]
+    fn self_loop_rejected() {
+        QueryGraph::new("bad", 3, &[(0, 0), (0, 1), (1, 2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicate_edge_rejected() {
+        QueryGraph::new("bad", 3, &[(0, 1), (1, 0), (1, 2)]);
+    }
+
+    #[test]
+    fn diameter_values() {
+        assert_eq!(kite().diameter(), 2);
+        let path = QueryGraph::new("p4", 4, &[(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(path.diameter(), 3);
+        let tri = QueryGraph::new("k3", 3, &[(0, 1), (0, 2), (1, 2)]);
+        assert_eq!(tri.diameter(), 1);
+    }
+
+    #[test]
+    fn parse_compact_spec() {
+        let q = QueryGraph::parse("t", "0-1, 1-2,0-2").unwrap();
+        assert_eq!(q.num_vertices(), 3);
+        assert_eq!(q.num_edges(), 3);
+        assert!(QueryGraph::parse("bad", "0-1,x-2").is_err());
+        assert!(QueryGraph::parse("bad", "01").is_err());
+        assert!(QueryGraph::parse("bad", "").is_err());
+        assert!(QueryGraph::parse("big", "0-9").is_err());
+    }
+
+    #[test]
+    fn canonical_form_detects_isomorphism() {
+        let a = QueryGraph::new("a", 4, &[(0, 1), (1, 2), (2, 3)]);
+        let b = QueryGraph::new("b", 4, &[(2, 0), (0, 3), (3, 1)]); // relabeled path
+        let c = QueryGraph::new("c", 4, &[(0, 1), (1, 2), (2, 3), (3, 0)]); // cycle
+        assert_eq!(a.canonical_form(), b.canonical_form());
+        assert_ne!(a.canonical_form(), c.canonical_form());
+    }
+
+    #[test]
+    fn canonical_form_respects_labels() {
+        let a = QueryGraph::with_labels("a", 2, &[(0, 1)], vec![1, 2]);
+        let b = QueryGraph::with_labels("b", 2, &[(0, 1)], vec![2, 1]);
+        let c = QueryGraph::with_labels("c", 2, &[(0, 1)], vec![1, 1]);
+        assert_eq!(a.canonical_form(), b.canonical_form());
+        assert_ne!(a.canonical_form(), c.canonical_form());
+    }
+}

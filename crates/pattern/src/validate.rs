@@ -1,0 +1,151 @@
+//! Structural validation of compiled plans.
+//!
+//! Plans are produced by this crate's own compiler, but the invariants they
+//! must satisfy are the correctness backbone of the whole system — so they
+//! are checked explicitly (and property-tested against every preset and
+//! random pattern), and exposed for downstream users who hand-craft plans.
+
+use crate::plan::{MatchPlan, ViewSel};
+use crate::query::QueryGraph;
+
+/// Check every structural invariant of `plan` against its query. Returns a
+/// list of violations (empty = valid).
+pub fn validate_plan(q: &QueryGraph, plan: &MatchPlan) -> Vec<String> {
+    let mut errs = Vec::new();
+    let n = q.num_vertices();
+
+    // Order is a permutation of the pattern vertices.
+    let mut sorted = plan.order.clone();
+    sorted.sort_unstable();
+    if sorted != (0..n).collect::<Vec<_>>() {
+        errs.push(format!("order {:?} is not a permutation of 0..{n}", plan.order));
+    }
+    if plan.num_vertices != n {
+        errs.push(format!("num_vertices {} ≠ |V(Q)| {n}", plan.num_vertices));
+    }
+    if plan.levels.len() + 2 != n {
+        errs.push(format!("{} levels for an n={n} pattern", plan.levels.len()));
+    }
+
+    // The seed edge exists and binds order[0], order[1].
+    if plan.seed_edge >= q.num_edges() {
+        errs.push(format!("seed edge {} out of range", plan.seed_edge));
+    } else {
+        let (a, b) = q.edges()[plan.seed_edge];
+        let seed_set = [plan.order[0], plan.order[1]];
+        if !(seed_set.contains(&a) && seed_set.contains(&b)) {
+            errs.push(format!(
+                "seed edge ({a},{b}) does not match order prefix {:?}",
+                &plan.order[..2]
+            ));
+        }
+    }
+
+    // Every non-seed query edge appears exactly once as a constraint, with
+    // the Eq. (1) view; every constraint references an earlier position.
+    let mut seen = vec![0usize; q.num_edges()];
+    for (li, lvl) in plan.levels.iter().enumerate() {
+        let level_pos = li + 2;
+        if plan.order.get(level_pos) != Some(&lvl.qvertex) {
+            errs.push(format!("level {li} binds {} but order says {:?}", lvl.qvertex, plan.order.get(level_pos)));
+        }
+        if lvl.constraints.is_empty() {
+            errs.push(format!("level {li} has no constraints (disconnected order)"));
+        }
+        for c in &lvl.constraints {
+            if c.pos >= level_pos {
+                errs.push(format!("level {li}: constraint pos {} not bound yet", c.pos));
+                continue;
+            }
+            if c.edge >= q.num_edges() {
+                errs.push(format!("level {li}: edge index {} out of range", c.edge));
+                continue;
+            }
+            seen[c.edge] += 1;
+            let (a, b) = q.edges()[c.edge];
+            let pair = [plan.order[c.pos], lvl.qvertex];
+            if !(pair.contains(&a) && pair.contains(&b)) {
+                errs.push(format!(
+                    "level {li}: constraint edge ({a},{b}) does not connect {:?}",
+                    pair
+                ));
+            }
+            if let Some(i) = plan.delta_index {
+                let expect = if c.edge < i { ViewSel::Old } else { ViewSel::New };
+                if c.edge == i {
+                    errs.push(format!("level {li}: delta edge {i} reused as constraint"));
+                } else if c.view != expect {
+                    errs.push(format!(
+                        "level {li}: edge {} view {:?} violates Eq. (1) for ΔM_{}",
+                        c.edge,
+                        c.view,
+                        i + 1
+                    ));
+                }
+            }
+        }
+        for &p in lvl.lt.iter().chain(&lvl.gt) {
+            if p >= level_pos {
+                errs.push(format!("level {li}: symmetry bound references unbound pos {p}"));
+            }
+        }
+    }
+    for (e, &count) in seen.iter().enumerate() {
+        let expect = usize::from(e != plan.seed_edge);
+        if count != expect {
+            errs.push(format!("edge {e} appears {count} times as a constraint, expected {expect}"));
+        }
+    }
+    errs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{compile_incremental, compile_static, PlanOptions};
+    use crate::queries;
+
+    #[test]
+    fn all_compiled_plans_validate() {
+        for q in queries::all() {
+            for sb in [false, true] {
+                let opts = PlanOptions { symmetry_break: sb };
+                let errs = validate_plan(&q, &compile_static(&q, opts));
+                assert!(errs.is_empty(), "{} static: {errs:?}", q.name());
+                for p in compile_incremental(&q, opts) {
+                    let errs = validate_plan(&q, &p);
+                    assert!(errs.is_empty(), "{} Δ{:?}: {errs:?}", q.name(), p.delta_index);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn corrupted_plans_are_caught() {
+        let q = queries::fig1_kite();
+        let mut p = compile_incremental(&q, PlanOptions::default()).remove(2);
+
+        // Flip a view against Eq. (1).
+        let orig = p.levels[0].constraints[0].view;
+        p.levels[0].constraints[0].view =
+            if orig == ViewSel::Old { ViewSel::New } else { ViewSel::Old };
+        assert!(validate_plan(&q, &p).iter().any(|e| e.contains("Eq. (1)")));
+        p.levels[0].constraints[0].view = orig;
+
+        // Break the order permutation.
+        p.order[3] = p.order[2];
+        assert!(validate_plan(&q, &p).iter().any(|e| e.contains("permutation")));
+    }
+
+    #[test]
+    fn dropped_constraint_is_caught() {
+        let q = queries::triangle();
+        let mut p = compile_static(&q, PlanOptions::default());
+        let removed = p.levels[0].constraints.pop().unwrap();
+        let errs = validate_plan(&q, &p);
+        assert!(
+            errs.iter().any(|e| e.contains(&format!("edge {}", removed.edge))),
+            "{errs:?}"
+        );
+    }
+}

@@ -1,0 +1,59 @@
+//! Road-network monitoring: incremental pattern counting under road
+//! closures and openings (the paper's flat-degree regime, Fig. 11).
+//!
+//! Streams closures/openings over a road lattice and tracks triangle
+//! ("detour cell") counts incrementally, comparing the data movement of
+//! the zero-copy baseline against GCSM's walk-guided cache — on a graph
+//! with *no* degree skew, where caching must win purely on batch locality.
+//!
+//! ```text
+//! cargo run --release -p gcsm --example road_monitor
+//! ```
+
+use gcsm::prelude::*;
+use gcsm_datagen::road::{generate, RoadConfig};
+use gcsm_datagen::{StreamConfig, UpdateStream};
+use gcsm_pattern::queries;
+
+fn main() {
+    let road = generate(&RoadConfig::with_vertices(40_000, 11));
+    println!(
+        "road network: {} junctions, {} segments, max degree {}",
+        road.num_vertices(),
+        road.num_edges(),
+        road.max_degree()
+    );
+
+    let stream = UpdateStream::generate(&road, StreamConfig::Fraction(0.10), 5);
+    let batches: Vec<Vec<_>> = stream.batches(512).take(4).map(|b| b.to_vec()).collect();
+
+    let mut cfg = EngineConfig::default();
+    cfg.plan.symmetry_break = true; // count each detour cell once
+
+    let query = queries::triangle();
+    let mut gcsm = GcsmEngine::new(cfg.clone());
+    let mut zp = ZeroCopyEngine::new(cfg.clone());
+    let mut p_gcsm = Pipeline::new(stream.initial.clone(), query.clone());
+    let mut p_zp = Pipeline::new(stream.initial.clone(), query.clone());
+
+    println!("\nbatch  Δcells   GCSM ms     ZP ms  GCSM cpu-read  ZP cpu-read  hit%");
+    let mut total_cells = 0i64;
+    for (i, batch) in batches.iter().enumerate() {
+        let rg = p_gcsm.process_batch(&mut gcsm, batch);
+        let rz = p_zp.process_batch(&mut zp, batch);
+        assert_eq!(rg.matches, rz.matches, "engines disagree");
+        total_cells += rg.matches;
+        println!(
+            "{:>5}  {:>6}  {:>8.3}  {:>8.3}  {:>13}  {:>11}  {:>4.0}",
+            i,
+            rg.matches,
+            rg.total_ms(),
+            rz.total_ms(),
+            rg.cpu_access_bytes,
+            rz.cpu_access_bytes,
+            rg.cache_hit_rate * 100.0
+        );
+    }
+    println!("\nnet change in detour cells: {total_cells:+}");
+    println!("even with flat degrees, the walk-guided cache cuts CPU reads");
+}

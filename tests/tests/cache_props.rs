@@ -1,0 +1,102 @@
+//! Property tests for the DCSR cache and the k-hop machinery.
+
+use gcsm_cache::{Dcsr, DeltaPlan};
+use gcsm_datagen::er::gnm;
+use gcsm_graph::{DynamicGraph, EdgeUpdate, UpdateOp, VertexId};
+use proptest::prelude::*;
+
+fn sealed_graph(seed: u64, reqs: &[(u8, u8, bool)]) -> DynamicGraph {
+    let g0 = gnm(24, 70, seed);
+    let mut g = DynamicGraph::from_csr(&g0);
+    g.begin_batch();
+    for &(a, b, ins) in reqs {
+        g.apply(EdgeUpdate {
+            src: a as u32,
+            dst: b as u32,
+            op: if ins { UpdateOp::Insert } else { UpdateOp::Delete },
+        });
+    }
+    g.seal_batch();
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Whatever subset of vertices is packed, the cached views must equal
+    /// the live graph's views — for both N and N'.
+    #[test]
+    fn dcsr_views_always_match_graph(
+        seed in 0u64..500,
+        reqs in proptest::collection::vec((0u8..24, 0u8..24, any::<bool>()), 0..16),
+        mask in 0u32..(1 << 24),
+    ) {
+        let g = sealed_graph(seed, &reqs);
+        let selection: Vec<VertexId> =
+            (0..g.num_vertices() as u32).filter(|&v| mask & (1 << v) != 0).collect();
+        let d = Dcsr::pack(&g, &selection);
+        prop_assert_eq!(d.len(), selection.len());
+        for &v in &selection {
+            let row = d.find(v).expect("packed vertex must be found");
+            prop_assert_eq!(d.view(row, true).to_vec(), g.old_view(v).to_vec());
+            prop_assert_eq!(d.view(row, false).to_vec(), g.new_view(v).to_vec());
+        }
+        // Vertices not selected never resolve.
+        for v in 0..g.num_vertices() as u32 {
+            if !selection.contains(&v) {
+                prop_assert_eq!(d.find(v), None);
+            }
+        }
+    }
+
+    /// The delta plan partitions [resident ∪ selected] and its transfer set
+    /// is exactly adds + refreshes.
+    #[test]
+    fn delta_plan_partitions(
+        resident_mask in 0u32..(1 << 20),
+        selected_mask in 0u32..(1 << 20),
+        updated_mask in 0u32..(1 << 20),
+    ) {
+        let set = |m: u32| -> Vec<VertexId> {
+            (0..20u32).filter(|&v| m & (1 << v) != 0).collect()
+        };
+        let (resident, selected, updated) =
+            (set(resident_mask), set(selected_mask), set(updated_mask));
+        let plan = DeltaPlan::diff(&resident, &selected, &updated);
+
+        // keep ∪ refresh ∪ add = selected; drop = resident \ selected.
+        let mut covered: Vec<VertexId> =
+            plan.keep.iter().chain(&plan.refresh).chain(&plan.add).copied().collect();
+        covered.sort_unstable();
+        prop_assert_eq!(covered, selected.clone());
+        let mut dropped = plan.drop.clone();
+        dropped.sort_unstable();
+        let expect_drop: Vec<VertexId> =
+            resident.iter().copied().filter(|v| !selected.contains(v)).collect();
+        prop_assert_eq!(dropped, expect_drop);
+        // keep ∩ updated = ∅; refresh ⊆ updated ∩ resident.
+        prop_assert!(plan.keep.iter().all(|v| !updated.contains(v)));
+        prop_assert!(plan.refresh.iter().all(|v| updated.contains(v) && resident.contains(v)));
+    }
+
+    /// k-hop sets are monotone in k and always contain the batch endpoints.
+    #[test]
+    fn khop_monotone(
+        seed in 0u64..200,
+        reqs in proptest::collection::vec((0u8..24, 0u8..24, any::<bool>()), 1..10),
+    ) {
+        let g = sealed_graph(seed, &reqs);
+        let batch = g.sealed_batch().applied.clone();
+        prop_assume!(!batch.is_empty());
+        let mut prev: Vec<VertexId> = Vec::new();
+        for k in 0..4 {
+            let cur = gcsm::khop::khop_vertices(&g, &batch, k);
+            for u in &batch {
+                prop_assert!(cur.binary_search(&u.src).is_ok());
+                prop_assert!(cur.binary_search(&u.dst).is_ok());
+            }
+            prop_assert!(prev.iter().all(|v| cur.binary_search(v).is_ok()), "k-hop not monotone");
+            prev = cur;
+        }
+    }
+}

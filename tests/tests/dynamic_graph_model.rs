@@ -1,0 +1,122 @@
+//! Model-based testing of the dynamic graph store: a `HashSet<(u,v)>` is
+//! the reference model; the DynamicGraph must agree with it through
+//! arbitrary multi-batch update sequences, in both views, at every step.
+
+use gcsm_graph::{CsrGraph, DynamicGraph, EdgeUpdate, UpdateOp};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+type Model = HashSet<(u32, u32)>;
+
+fn canon(a: u32, b: u32) -> (u32, u32) {
+    (a.min(b), a.max(b))
+}
+
+fn model_apply(model: &mut Model, u: &EdgeUpdate) -> bool {
+    if u.src == u.dst {
+        return false;
+    }
+    let e = canon(u.src, u.dst);
+    match u.op {
+        UpdateOp::Insert => model.insert(e),
+        UpdateOp::Delete => model.remove(&e),
+    }
+}
+
+fn assert_graph_matches_model(g: &DynamicGraph, model: &Model, old_model: &Model) {
+    // New views == current model.
+    let mut got: Vec<(u32, u32)> = Vec::new();
+    for v in 0..g.num_vertices() as u32 {
+        for w in g.new_view(v).iter_sorted() {
+            if v < w {
+                got.push((v, w));
+            }
+        }
+    }
+    let mut want: Vec<(u32, u32)> = model.iter().copied().collect();
+    got.sort_unstable();
+    want.sort_unstable();
+    assert_eq!(got, want, "new view diverges from model");
+    assert_eq!(g.num_edges(), model.len());
+
+    // Old views == pre-batch model.
+    let mut got_old: Vec<(u32, u32)> = Vec::new();
+    for v in 0..g.num_vertices() as u32 {
+        for w in g.old_view(v).iter_sorted() {
+            if v < w {
+                got_old.push((v, w));
+            }
+        }
+    }
+    let mut want_old: Vec<(u32, u32)> = old_model.iter().copied().collect();
+    got_old.sort_unstable();
+    want_old.sort_unstable();
+    assert_eq!(got_old, want_old, "old view diverges from pre-batch model");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn dynamic_graph_agrees_with_set_model(
+        initial in proptest::collection::vec((0u32..20, 0u32..20), 0..40),
+        batches in proptest::collection::vec(
+            proptest::collection::vec((0u32..24, 0u32..24, any::<bool>()), 0..12),
+            1..5,
+        ),
+    ) {
+        // Seed.
+        let mut model: Model = initial
+            .iter()
+            .filter(|(a, b)| a != b)
+            .map(|&(a, b)| canon(a, b))
+            .collect();
+        let edges: Vec<(u32, u32)> = model.iter().copied().collect();
+        let mut g = DynamicGraph::from_csr(&CsrGraph::from_edges(20, &edges));
+
+        for batch in &batches {
+            let old_model = model.clone();
+            g.begin_batch();
+            for &(a, b, ins) in batch {
+                let u = EdgeUpdate {
+                    src: a,
+                    dst: b,
+                    op: if ins { UpdateOp::Insert } else { UpdateOp::Delete },
+                };
+                let model_changed = model_apply(&mut model, &u);
+                let graph_changed = g.apply(u);
+                prop_assert_eq!(model_changed, graph_changed, "apply outcome diverges");
+            }
+            let summary = g.seal_batch();
+            prop_assert_eq!(summary.len() + summary.skipped, batch.len());
+            assert_graph_matches_model(&g, &model, &old_model);
+            g.reorganize();
+            // After reorganize, old == new == model.
+            assert_graph_matches_model(&g, &model, &model);
+        }
+    }
+
+    /// Degree accounting and the max-degree bound stay consistent.
+    #[test]
+    fn degree_bound_is_an_upper_bound(
+        ops in proptest::collection::vec((0u32..16, 0u32..16, any::<bool>()), 1..60),
+    ) {
+        let mut g = DynamicGraph::with_vertices(16);
+        g.begin_batch();
+        for &(a, b, ins) in &ops {
+            g.apply(EdgeUpdate {
+                src: a,
+                dst: b,
+                op: if ins { UpdateOp::Insert } else { UpdateOp::Delete },
+            });
+        }
+        g.seal_batch();
+        let bound = g.max_degree_bound();
+        for v in 0..g.num_vertices() as u32 {
+            prop_assert!(g.new_degree(v) <= bound);
+            prop_assert!(g.new_view(v).count() <= bound);
+        }
+        g.reorganize();
+        prop_assert!(g.stats().max_degree <= g.max_degree_bound());
+    }
+}

@@ -1,0 +1,147 @@
+//! Edge cases and failure-injection across the stack.
+
+use gcsm::prelude::*;
+use gcsm_graph::{CsrGraph, DynamicGraph, EdgeUpdate};
+use gcsm_matcher::{match_incremental, DriverOptions, DynSource};
+use gcsm_pattern::{queries, QueryGraph};
+
+fn engines(cfg: &EngineConfig) -> Vec<Box<dyn Engine>> {
+    vec![
+        Box::new(GcsmEngine::new(cfg.clone())),
+        Box::new(ZeroCopyEngine::new(cfg.clone())),
+        Box::new(UnifiedMemEngine::new(cfg.clone())),
+        Box::new(VsgmEngine::new(cfg.clone())),
+        Box::new(NaiveDegreeEngine::new(cfg.clone())),
+        Box::new(CpuWcojEngine::new(cfg.clone())),
+        Box::new(RapidFlowEngine::new(cfg.clone())),
+    ]
+}
+
+/// An empty batch is a clean no-op for every engine.
+#[test]
+fn empty_batch_is_noop() {
+    let g0 = CsrGraph::from_edges(5, &[(0, 1), (1, 2), (0, 2)]);
+    for mut e in engines(&EngineConfig::default()) {
+        let mut p = Pipeline::new(g0.clone(), queries::triangle());
+        let r = p.process_batch(e.as_mut(), &[]);
+        assert_eq!(r.matches, 0, "{}", e.name());
+        assert_eq!(r.traffic.zerocopy_bytes, 0, "{}", e.name());
+    }
+}
+
+/// A batch made entirely of no-ops (duplicate inserts, missing deletes,
+/// self loops) yields zero delta.
+#[test]
+fn all_noop_batch() {
+    let g0 = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (0, 2)]);
+    let batch = vec![
+        EdgeUpdate::insert(0, 1), // exists
+        EdgeUpdate::delete(0, 3), // absent
+        EdgeUpdate::insert(2, 2), // self loop
+    ];
+    for mut e in engines(&EngineConfig::default()) {
+        let mut p = Pipeline::new(g0.clone(), queries::triangle());
+        let r = p.process_batch(e.as_mut(), &batch);
+        assert_eq!(r.matches, 0, "{}", e.name());
+    }
+}
+
+/// Deleting every edge of the only triangle exactly cancels its count.
+#[test]
+fn full_teardown() {
+    let g0 = CsrGraph::from_edges(3, &[(0, 1), (1, 2), (0, 2)]);
+    let batch =
+        vec![EdgeUpdate::delete(0, 1), EdgeUpdate::delete(1, 2), EdgeUpdate::delete(0, 2)];
+    for mut e in engines(&EngineConfig::default()) {
+        let mut p = Pipeline::new(g0.clone(), queries::triangle());
+        let r = p.process_batch(e.as_mut(), &batch);
+        assert_eq!(r.matches, -6, "{}", e.name());
+        assert_eq!(p.graph().num_edges(), 0);
+    }
+}
+
+/// Building a whole pattern from scratch in one batch on an empty graph.
+#[test]
+fn build_from_empty_graph() {
+    let g0 = CsrGraph::from_edges(4, &[]);
+    let q = queries::fig1_kite();
+    let batch: Vec<EdgeUpdate> =
+        q.edges().iter().map(|&(a, b)| EdgeUpdate::insert(a as u32, b as u32)).collect();
+    for mut e in engines(&EngineConfig::default()) {
+        let mut p = Pipeline::new(g0.clone(), q.clone());
+        let r = p.process_batch(e.as_mut(), &batch);
+        assert_eq!(r.matches, 4, "{} (kite |Aut| = 4)", e.name());
+    }
+}
+
+/// Updates that introduce brand-new vertices mid-stream.
+#[test]
+fn growing_vertex_set() {
+    let g0 = CsrGraph::from_edges(3, &[(0, 1), (1, 2), (0, 2)]);
+    let batch = vec![
+        EdgeUpdate::insert(2, 7),
+        EdgeUpdate::insert(1, 7),
+        EdgeUpdate::insert(7, 9),
+    ];
+    for mut e in engines(&EngineConfig::default()) {
+        let mut p = Pipeline::new(g0.clone(), queries::triangle());
+        let r = p.process_batch(e.as_mut(), &batch);
+        assert_eq!(r.matches, 6, "{} (new triangle 1-2-7)", e.name());
+        assert_eq!(p.graph().num_vertices(), 10);
+    }
+}
+
+/// A two-vertex (single-edge) pattern: the seed is the whole match.
+#[test]
+fn edge_pattern() {
+    let g0 = CsrGraph::from_edges(4, &[(0, 1)]);
+    let q = QueryGraph::new("edge", 2, &[(0, 1)]);
+    let mut g = DynamicGraph::from_csr(&g0);
+    let s = g.apply_batch(&[EdgeUpdate::insert(2, 3), EdgeUpdate::delete(0, 1)]);
+    let src = DynSource::new(&g);
+    let r = match_incremental(&src, &q, &s.applied, &DriverOptions::default());
+    assert_eq!(r.matches, 0); // +2 embeddings − 2 embeddings
+}
+
+/// Batch larger than the graph (mass insertion).
+#[test]
+fn mass_insertion() {
+    let g0 = CsrGraph::from_edges(8, &[]);
+    let mut batch = Vec::new();
+    for a in 0..8u32 {
+        for b in (a + 1)..8 {
+            batch.push(EdgeUpdate::insert(a, b));
+        }
+    }
+    // K8 triangle embeddings: C(8,3)·6 = 336.
+    for mut e in engines(&EngineConfig::default()) {
+        let mut p = Pipeline::new(g0.clone(), queries::triangle());
+        let r = p.process_batch(e.as_mut(), &batch);
+        assert_eq!(r.matches, 336, "{}", e.name());
+    }
+}
+
+/// Insert and delete interleaved on the same edges across batches.
+#[test]
+fn oscillating_edge() {
+    let g0 = CsrGraph::from_edges(3, &[(0, 1), (1, 2)]);
+    let mut e = GcsmEngine::new(EngineConfig::default());
+    let mut p = Pipeline::new(g0, queries::triangle());
+    let mut total = 0i64;
+    for _ in 0..4 {
+        total += p.process_batch(&mut e, &[EdgeUpdate::insert(0, 2)]).matches;
+        total += p.process_batch(&mut e, &[EdgeUpdate::delete(0, 2)]).matches;
+    }
+    assert_eq!(total, 0);
+}
+
+/// Isolated vertices never break anything (walks, caches, k-hop).
+#[test]
+fn isolated_vertices_everywhere() {
+    let g0 = CsrGraph::from_edges(50, &[(10, 11), (11, 12), (10, 12)]);
+    for mut e in engines(&EngineConfig::default()) {
+        let mut p = Pipeline::new(g0.clone(), queries::triangle());
+        let r = p.process_batch(e.as_mut(), &[EdgeUpdate::insert(12, 13)]);
+        assert_eq!(r.matches, 0, "{}", e.name());
+    }
+}

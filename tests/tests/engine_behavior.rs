@@ -1,0 +1,200 @@
+//! Behavioural assertions on the engines' *performance model* — the
+//! directional claims every figure rests on, checked end-to-end on a
+//! realistic clustered workload.
+
+use gcsm::prelude::*;
+use gcsm_datagen::social::{generate_social, SocialConfig};
+use gcsm_datagen::{StreamConfig, UpdateStream};
+use gcsm_graph::{CsrGraph, EdgeUpdate};
+use gcsm_pattern::queries;
+
+fn workload() -> (CsrGraph, Vec<Vec<EdgeUpdate>>) {
+    let g = generate_social(&SocialConfig::new(14, 6, 0xBEEF));
+    let stream = UpdateStream::generate(&g, StreamConfig::Fraction(0.05), 77);
+    let batches = stream.batches(256).take(2).map(<[EdgeUpdate]>::to_vec).collect();
+    (stream.initial, batches)
+}
+
+fn cfg(initial: &CsrGraph) -> EngineConfig {
+    EngineConfig::with_cache_budget(initial.adjacency_bytes() / 8)
+}
+
+fn run<E: Engine>(mut engine: E, initial: &CsrGraph, batches: &[Vec<EdgeUpdate>]) -> Vec<BatchResult> {
+    let mut p = Pipeline::new(initial.clone(), queries::q2());
+    batches.iter().map(|b| p.process_batch(&mut engine, b)).collect()
+}
+
+/// UM must be far slower than ZP (the paper: 69–210×) and both must agree
+/// on counts.
+#[test]
+fn um_is_far_slower_than_zp() {
+    let (initial, batches) = workload();
+    let c = cfg(&initial);
+    let zp = run(ZeroCopyEngine::new(c.clone()), &initial, &batches);
+    let um = run(UnifiedMemEngine::new(c.clone()), &initial, &batches);
+    let (zp_ms, um_ms): (f64, f64) = (
+        zp.iter().map(BatchResult::total_ms).sum(),
+        um.iter().map(BatchResult::total_ms).sum(),
+    );
+    assert_eq!(
+        zp.iter().map(|r| r.matches).sum::<i64>(),
+        um.iter().map(|r| r.matches).sum::<i64>()
+    );
+    assert!(um_ms > 10.0 * zp_ms, "UM/ZP = {:.1}", um_ms / zp_ms);
+}
+
+/// GCSM must beat ZP in simulated time *and* in bytes read from the CPU.
+#[test]
+fn gcsm_beats_zero_copy() {
+    let (initial, batches) = workload();
+    let c = cfg(&initial);
+    let zp = run(ZeroCopyEngine::new(c.clone()), &initial, &batches);
+    let gc = run(GcsmEngine::new(c.clone()), &initial, &batches);
+    let zp_bytes: u64 = zp.iter().map(|r| r.cpu_access_bytes).sum();
+    let gc_bytes: u64 = gc.iter().map(|r| r.cpu_access_bytes).sum();
+    assert!(gc_bytes * 2 < zp_bytes, "traffic: {} vs {}", gc_bytes, zp_bytes);
+    let zp_ms: f64 = zp.iter().map(BatchResult::total_ms).sum();
+    let gc_ms: f64 = gc.iter().map(BatchResult::total_ms).sum();
+    assert!(gc_ms < zp_ms, "time: {:.2} vs {:.2}", gc_ms, zp_ms);
+}
+
+/// VSGM's kernel never falls back to the CPU (k-hop coverage), and its
+/// data-copy phase dominates GCSM's.
+#[test]
+fn vsgm_copies_more_but_never_misses() {
+    let (initial, batches) = workload();
+    let c = cfg(&initial);
+    let vs = run(VsgmEngine::new(c.clone()), &initial, &batches);
+    let gc = run(GcsmEngine::new(c.clone()), &initial, &batches);
+    for r in &vs {
+        assert_eq!(r.traffic.cache_misses, 0, "VSGM must cover every access");
+        assert_eq!(r.traffic.zerocopy_bytes, 0);
+    }
+    let vs_copied: f64 = vs.iter().map(|r| r.cached_bytes as f64).sum();
+    let gc_copied: f64 = gc.iter().map(|r| r.cached_bytes as f64).sum();
+    assert!(
+        vs_copied > 1.5 * gc_copied,
+        "VSGM ships {} vs GCSM {}",
+        vs_copied,
+        gc_copied
+    );
+}
+
+/// The GCSM phase breakdown is sane: FE and DC are real but do not dominate
+/// (Table II's regime) on a match-heavy query.
+#[test]
+fn gcsm_overheads_are_minor_fractions() {
+    let (initial, batches) = workload();
+    let gc = run(GcsmEngine::new(cfg(&initial)), &initial, &batches);
+    for r in &gc {
+        assert!(r.phases.freq_est > 0.0);
+        assert!(r.phases.data_copy > 0.0);
+        let fe = r.phases.fe_fraction();
+        let dc = r.phases.dc_fraction();
+        assert!(fe < 0.5, "FE fraction {fe:.2}");
+        assert!(dc < 0.5, "DC fraction {dc:.2}");
+    }
+}
+
+/// Simulated time scales roughly with batch size (Fig. 12's proportionality).
+#[test]
+fn time_scales_with_batch_size() {
+    let (initial, _) = workload();
+    let g = generate_social(&SocialConfig::new(14, 6, 0xBEEF));
+    let stream = UpdateStream::generate(&g, StreamConfig::Fraction(0.10), 7);
+    let small: Vec<Vec<EdgeUpdate>> =
+        stream.batches(64).take(1).map(<[EdgeUpdate]>::to_vec).collect();
+    let large: Vec<Vec<EdgeUpdate>> =
+        stream.batches(512).take(1).map(<[EdgeUpdate]>::to_vec).collect();
+    let c = cfg(&initial);
+    let t_small: f64 = run(ZeroCopyEngine::new(c.clone()), &stream.initial, &small)
+        .iter()
+        .map(BatchResult::total_ms)
+        .sum();
+    let t_large: f64 = run(ZeroCopyEngine::new(c.clone()), &stream.initial, &large)
+        .iter()
+        .map(BatchResult::total_ms)
+        .sum();
+    let ratio = t_large / t_small;
+    assert!(ratio > 2.0 && ratio < 40.0, "8x batch gave {ratio:.1}x time");
+}
+
+/// The RF engine's candidate index grows with the graph and persists.
+#[test]
+fn rf_index_memory_reported_and_persistent() {
+    let (initial, batches) = workload();
+    let mut engine = RapidFlowEngine::new(cfg(&initial));
+    let mut p = Pipeline::new(initial.clone(), queries::q1());
+    let r1 = p.process_batch(&mut engine, &batches[0]);
+    let r2 = p.process_batch(&mut engine, &batches[1]);
+    assert!(r1.aux_bytes > 0);
+    // Candidate counts drift slightly across batches; the bitset part is
+    // |V|-bound, so the footprint stays in the same ballpark.
+    let ratio = r1.aux_bytes as f64 / r2.aux_bytes as f64;
+    assert!((0.5..2.0).contains(&ratio), "index sizes: {} vs {}", r1.aux_bytes, r2.aux_bytes);
+    // At least the bitsets: |Q| × |V| bits.
+    let floor = queries::q1().num_vertices() * initial.num_vertices() / 8;
+    assert!(r1.aux_bytes >= floor, "{} < {}", r1.aux_bytes, floor);
+}
+
+/// The UM page cache persists across batches: a repeated identical batch
+/// faults (far) fewer pages than the first one.
+#[test]
+fn um_page_cache_warms_across_batches() {
+    let (initial, _) = workload();
+    let mut engine = UnifiedMemEngine::new(cfg(&initial));
+    let mut p = Pipeline::new(initial.clone(), queries::q2());
+    // Oscillate the same edge set so both batches touch the same pages.
+    let edges: Vec<EdgeUpdate> = vec![
+        EdgeUpdate::insert(1, 2000),
+        EdgeUpdate::insert(2, 2001),
+        EdgeUpdate::insert(3, 2002),
+    ];
+    let deletes: Vec<EdgeUpdate> =
+        edges.iter().map(|u| EdgeUpdate::delete(u.src, u.dst)).collect();
+    let r1 = p.process_batch(&mut engine, &edges);
+    let r2 = p.process_batch(&mut engine, &deletes);
+    let r3 = p.process_batch(&mut engine, &edges);
+    let f = |r: &BatchResult| r.traffic.um_faults as f64 / (r.traffic.um_faults + r.traffic.um_hits).max(1) as f64;
+    assert!(
+        f(&r3) < f(&r1),
+        "warm batch must fault less: {:.2} vs {:.2} (mid {:.2})",
+        f(&r3),
+        f(&r1),
+        f(&r2)
+    );
+}
+
+/// Work stealing never loses to static block assignment, and counts are
+/// unchanged by the scheduling policy.
+#[test]
+fn work_stealing_at_least_matches_static() {
+    let (initial, batches) = workload();
+    let mut times = Vec::new();
+    let mut counts = Vec::new();
+    for policy in [gcsm_gpusim::Scheduling::WorkStealing, gcsm_gpusim::Scheduling::Static] {
+        let mut c = cfg(&initial);
+        c.scheduling = policy;
+        let rs = run(ZeroCopyEngine::new(c), &initial, &batches);
+        times.push(rs.iter().map(BatchResult::total_ms).sum::<f64>());
+        counts.push(rs.iter().map(|r| r.matches).sum::<i64>());
+    }
+    assert_eq!(counts[0], counts[1]);
+    assert!(times[0] <= times[1] * 1.001, "stealing {} vs static {}", times[0], times[1]);
+}
+
+/// Degree-ranked caching (Naive) must not beat the walk-guided cache on
+/// clustered workloads — the paper's core claim.
+#[test]
+fn frequency_cache_beats_degree_cache() {
+    let (initial, batches) = workload();
+    let c = cfg(&initial);
+    let nv = run(NaiveDegreeEngine::new(c.clone()), &initial, &batches);
+    let gc = run(GcsmEngine::new(c.clone()), &initial, &batches);
+    let nv_hits: f64 = nv.iter().map(|r| r.cache_hit_rate).sum::<f64>() / nv.len() as f64;
+    let gc_hits: f64 = gc.iter().map(|r| r.cache_hit_rate).sum::<f64>() / gc.len() as f64;
+    assert!(
+        gc_hits > nv_hits,
+        "hit rates: GCSM {gc_hits:.2} vs Naive {nv_hits:.2}"
+    );
+}

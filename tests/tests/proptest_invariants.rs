@@ -1,0 +1,171 @@
+//! Property-based tests over the core invariants.
+
+use gcsm_datagen::er::gnm;
+use gcsm_graph::{CsrGraph, DynamicGraph, EdgeUpdate, UpdateOp};
+use gcsm_matcher::{
+    match_incremental, match_static, CsrSource, DriverOptions, DynSource, EnumeratorKind,
+};
+use gcsm_pattern::{compile_incremental, queries, PlanOptions};
+use proptest::prelude::*;
+
+/// Strategy: a random graph (by seed) and a list of raw update requests.
+fn graph_and_updates() -> impl Strategy<Value = (u64, Vec<(u8, u8, bool)>)> {
+    (0u64..1000, proptest::collection::vec((0u8..24, 0u8..24, any::<bool>()), 1..20))
+}
+
+fn apply_requests(g: &mut DynamicGraph, reqs: &[(u8, u8, bool)]) -> Vec<EdgeUpdate> {
+    g.begin_batch();
+    for &(a, b, insert) in reqs {
+        let u = EdgeUpdate {
+            src: a as u32,
+            dst: b as u32,
+            op: if insert { UpdateOp::Insert } else { UpdateOp::Delete },
+        };
+        g.apply(u);
+    }
+    g.seal_batch().applied
+}
+
+fn static_count(g: &CsrGraph, q: &gcsm_pattern::QueryGraph, opts: &DriverOptions) -> i64 {
+    let src = CsrSource::new(g);
+    match_static(&src, q, &g.edges().collect::<Vec<_>>(), opts).matches
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Eq. (1): incremental delta == from-scratch difference, arbitrary
+    /// (possibly no-op, duplicate, self-loop) update requests included.
+    #[test]
+    fn delta_equals_recompute((seed, reqs) in graph_and_updates()) {
+        let g0 = gnm(24, 70, seed);
+        let mut g = DynamicGraph::from_csr(&g0);
+        let applied = apply_requests(&mut g, &reqs);
+        let q = queries::triangle();
+        let opts = DriverOptions::default();
+        let before = static_count(&g.old_to_csr(), &q, &opts);
+        let after = static_count(&g.to_csr(), &q, &opts);
+        let delta = {
+            let src = DynSource::new(&g);
+            match_incremental(&src, &q, &applied, &opts).matches
+        };
+        prop_assert_eq!(delta, after - before);
+    }
+
+    /// Reorganize is semantically a no-op: snapshots before/after agree.
+    #[test]
+    fn reorganize_preserves_graph((seed, reqs) in graph_and_updates()) {
+        let g0 = gnm(24, 70, seed);
+        let mut g = DynamicGraph::from_csr(&g0);
+        apply_requests(&mut g, &reqs);
+        let sealed_snapshot: Vec<_> = g.to_csr().edges().collect();
+        g.reorganize();
+        let clean_snapshot: Vec<_> = g.to_csr().edges().collect();
+        prop_assert_eq!(sealed_snapshot, clean_snapshot);
+        // And every list is sorted, tombstone-free.
+        for v in 0..g.num_vertices() as u32 {
+            let (raw, old_len) = g.raw_list(v);
+            prop_assert_eq!(old_len, raw.len());
+            prop_assert!(raw.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    /// The two enumerators agree on arbitrary inputs.
+    #[test]
+    fn enumerators_agree((seed, reqs) in graph_and_updates()) {
+        let g0 = gnm(24, 70, seed);
+        let mut g = DynamicGraph::from_csr(&g0);
+        let applied = apply_requests(&mut g, &reqs);
+        let src = DynSource::new(&g);
+        let q = queries::fig1_kite();
+        let rec = match_incremental(&src, &q, &applied, &DriverOptions {
+            enumerator: EnumeratorKind::Recursive, ..Default::default()
+        });
+        let stk = match_incremental(&src, &q, &applied, &DriverOptions {
+            enumerator: EnumeratorKind::Stack, ..Default::default()
+        });
+        prop_assert_eq!(rec.matches, stk.matches);
+        prop_assert_eq!(rec.intersect_ops, stk.intersect_ops);
+    }
+
+    /// Σ_i ΔM_i over the delta plans is invariant to which intersect
+    /// algorithm runs (the kernels are interchangeable).
+    #[test]
+    fn intersect_algorithms_agree((seed, reqs) in graph_and_updates()) {
+        use gcsm_matcher::IntersectAlgo;
+        let g0 = gnm(24, 70, seed);
+        let mut g = DynamicGraph::from_csr(&g0);
+        let applied = apply_requests(&mut g, &reqs);
+        let src = DynSource::new(&g);
+        let q = queries::triangle();
+        let counts: Vec<i64> = [IntersectAlgo::Merge, IntersectAlgo::Gallop, IntersectAlgo::Blocked]
+            .iter()
+            .map(|&algo| {
+                match_incremental(&src, &q, &applied, &DriverOptions { algo, ..Default::default() })
+                    .matches
+            })
+            .collect();
+        prop_assert_eq!(counts[0], counts[1]);
+        prop_assert_eq!(counts[1], counts[2]);
+    }
+
+    /// The Eq. (1) invariant on *randomly generated connected patterns* —
+    /// not just the curated query set. Patterns of size 3–5 with random
+    /// extra edges; random graphs; random insert/delete batches.
+    #[test]
+    fn delta_equals_recompute_random_patterns(
+        (seed, reqs) in graph_and_updates(),
+        n_pat in 3usize..6,
+        extra_mask in 0u16..1024,
+        sb in any::<bool>(),
+    ) {
+        // Build a random connected pattern: a path backbone + random chords.
+        let mut edges: Vec<(usize, usize)> = (0..n_pat - 1).map(|i| (i, i + 1)).collect();
+        let mut k = 0;
+        for a in 0..n_pat {
+            for b in (a + 2)..n_pat {
+                if extra_mask & (1 << k) != 0 {
+                    edges.push((a, b));
+                }
+                k += 1;
+            }
+        }
+        let q = gcsm_pattern::QueryGraph::new("rand", n_pat, &edges);
+
+        let g0 = gnm(20, 60, seed);
+        let mut g = DynamicGraph::from_csr(&g0);
+        let applied = apply_requests(&mut g, &reqs);
+        let opts = DriverOptions {
+            plan: PlanOptions { symmetry_break: sb },
+            ..Default::default()
+        };
+        let before = static_count(&g.old_to_csr(), &q, &opts);
+        let after = static_count(&g.to_csr(), &q, &opts);
+        let delta = {
+            let src = DynSource::new(&g);
+            match_incremental(&src, &q, &applied, &opts).matches
+        };
+        prop_assert_eq!(delta, after - before, "pattern edges: {:?}", q.edges());
+    }
+
+    /// Plan count and view split: every delta plan reads old views for
+    /// edges below its index and new views above, on every generated query.
+    #[test]
+    fn plan_views_follow_eq1(qi in 0usize..6) {
+        let q = queries::all()[qi].clone();
+        let plans = compile_incremental(&q, PlanOptions::default());
+        prop_assert_eq!(plans.len(), q.num_edges());
+        for (i, p) in plans.iter().enumerate() {
+            for lvl in &p.levels {
+                for c in &lvl.constraints {
+                    let expect = if c.edge < i {
+                        gcsm_pattern::ViewSel::Old
+                    } else {
+                        gcsm_pattern::ViewSel::New
+                    };
+                    prop_assert_eq!(c.view, expect);
+                }
+            }
+        }
+    }
+}
