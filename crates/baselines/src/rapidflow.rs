@@ -42,9 +42,7 @@ impl Bitset {
     #[inline]
     fn contains(&self, v: VertexId) -> bool {
         let v = v as usize;
-        self.words
-            .get(v / 64)
-            .is_some_and(|w| w & (1 << (v % 64)) != 0)
+        self.words.get(v / 64).is_some_and(|w| w & (1 << (v % 64)) != 0)
     }
 
     fn set(&mut self, v: VertexId, value: bool) {
@@ -107,9 +105,7 @@ impl RapidFlow {
 
     fn compile_plans(q: &QueryGraph, opts: PlanOptions, cands: &[Bitset]) -> Vec<MatchPlan> {
         let scores: Vec<f64> = cands.iter().map(|b| b.count as f64).collect();
-        (0..q.num_edges())
-            .map(|i| compile_incremental_scored(q, i, opts, &scores))
-            .collect()
+        (0..q.num_edges()).map(|i| compile_incremental_scored(q, i, opts, &scores)).collect()
     }
 
     /// Index memory footprint in bytes (the quantity that blows up on large
@@ -133,8 +129,7 @@ impl RapidFlow {
         for &v in graph.updated_vertices() {
             for u in 0..self.query.num_vertices() {
                 let deg = graph.new_degree(v).max(graph.old_degree(v));
-                let eligible =
-                    graph.label(v) == self.query.label(u) && deg >= self.query.degree(u);
+                let eligible = graph.label(v) == self.query.label(u) && deg >= self.query.degree(u);
                 self.candidates[u].set(v, eligible);
             }
         }

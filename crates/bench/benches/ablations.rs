@@ -11,9 +11,7 @@ use gcsm_bench::{RunConfig, Workload};
 use gcsm_datagen::Preset;
 use gcsm_freq::{estimate_merged, estimate_naive, WalkParams};
 use gcsm_graph::DynamicGraph;
-use gcsm_matcher::{
-    match_incremental, DriverOptions, DynSource, EnumeratorKind, IntersectAlgo,
-};
+use gcsm_matcher::{match_incremental, DriverOptions, DynSource, EnumeratorKind, IntersectAlgo};
 use gcsm_pattern::{compile_incremental, queries, PlanOptions};
 
 fn setup() -> (DynamicGraph, Vec<gcsm_graph::EdgeUpdate>) {
@@ -49,8 +47,7 @@ fn bench_enumerators(c: &mut Criterion) {
     let q = queries::q1();
     let mut group = c.benchmark_group("ablation_enumerator");
     group.sample_size(10);
-    for (name, e) in [("recursive", EnumeratorKind::Recursive), ("stack", EnumeratorKind::Stack)]
-    {
+    for (name, e) in [("recursive", EnumeratorKind::Recursive), ("stack", EnumeratorKind::Stack)] {
         group.bench_with_input(BenchmarkId::from_parameter(name), &e, |b, &e| {
             let src = DynSource::new(&g);
             let opts = DriverOptions { enumerator: e, parallel: true, ..Default::default() };
@@ -91,21 +88,17 @@ fn bench_reorganize(c: &mut Criterion) {
     group.sample_size(10);
     for (preset, batch_size) in [(Preset::Friendster, 4096usize), (Preset::Sf10k, 8192)] {
         let w = Workload::build(preset, rc.scale, batch_size, 1);
-        group.bench_with_input(
-            BenchmarkId::new(preset.name(), batch_size),
-            &w,
-            |b, w| {
-                b.iter_batched(
-                    || {
-                        let mut g = DynamicGraph::from_csr(&w.initial);
-                        g.apply_batch(&w.batches[0]);
-                        g
-                    },
-                    |mut g| g.reorganize(),
-                    criterion::BatchSize::LargeInput,
-                );
-            },
-        );
+        group.bench_with_input(BenchmarkId::new(preset.name(), batch_size), &w, |b, w| {
+            b.iter_batched(
+                || {
+                    let mut g = DynamicGraph::from_csr(&w.initial);
+                    g.apply_batch(&w.batches[0]);
+                    g
+                },
+                |mut g| g.reorganize(),
+                criterion::BatchSize::LargeInput,
+            );
+        });
         group.bench_with_input(
             BenchmarkId::new(format!("{}_parallel", preset.name()), batch_size),
             &w,

@@ -15,17 +15,13 @@ fn bench_batch_sweep(c: &mut Criterion) {
         let w = Workload::build(Preset::Sf3k, rc.scale, batch, 1);
         group.throughput(Throughput::Elements(batch as u64));
         for kind in [EngineKind::ZeroCopy, EngineKind::Gcsm] {
-            group.bench_with_input(
-                BenchmarkId::new(kind.name(), batch),
-                &kind,
-                |b, &kind| {
-                    b.iter(|| {
-                        let mut engine = make_engine(kind, rc.engine_config(&w));
-                        let mut p = Pipeline::new(w.initial.clone(), q.clone());
-                        p.process_batch(engine.as_mut(), &w.batches[0]).matches
-                    });
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(kind.name(), batch), &kind, |b, &kind| {
+                b.iter(|| {
+                    let mut engine = make_engine(kind, rc.engine_config(&w));
+                    let mut p = Pipeline::new(w.initial.clone(), q.clone());
+                    p.process_batch(engine.as_mut(), &w.batches[0]).matches
+                });
+            });
         }
     }
     group.finish();

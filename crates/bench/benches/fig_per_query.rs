@@ -6,8 +6,8 @@
 //! reduced scale so `cargo bench` stays minutes, not hours.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use gcsm_bench::{make_engine, EngineKind, RunConfig, Workload};
 use gcsm::Pipeline;
+use gcsm_bench::{make_engine, EngineKind, RunConfig, Workload};
 use gcsm_datagen::Preset;
 use gcsm_pattern::queries;
 
@@ -17,19 +17,16 @@ fn bench_per_query(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig8_fr_batch512");
     group.sample_size(10);
     for q in [queries::q1(), queries::q2(), queries::q3()] {
-        for kind in [EngineKind::ZeroCopy, EngineKind::NaiveDegree, EngineKind::Cpu, EngineKind::Gcsm]
+        for kind in
+            [EngineKind::ZeroCopy, EngineKind::NaiveDegree, EngineKind::Cpu, EngineKind::Gcsm]
         {
-            group.bench_with_input(
-                BenchmarkId::new(q.name(), kind.name()),
-                &kind,
-                |b, &kind| {
-                    b.iter(|| {
-                        let mut engine = make_engine(kind, rc.engine_config(&w));
-                        let mut p = Pipeline::new(w.initial.clone(), q.clone());
-                        p.process_batch(engine.as_mut(), &w.batches[0]).matches
-                    });
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(q.name(), kind.name()), &kind, |b, &kind| {
+                b.iter(|| {
+                    let mut engine = make_engine(kind, rc.engine_config(&w));
+                    let mut p = Pipeline::new(w.initial.clone(), q.clone());
+                    p.process_batch(engine.as_mut(), &w.batches[0]).matches
+                });
+            });
         }
     }
     group.finish();

@@ -28,6 +28,8 @@ struct Args {
     unique: bool,
     demo: bool,
     collect: usize,
+    stream: bool,
+    producers: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -41,6 +43,8 @@ fn parse_args() -> Result<Args, String> {
         unique: false,
         demo: false,
         collect: 0,
+        stream: false,
+        producers: 4,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -75,6 +79,11 @@ fn parse_args() -> Result<Args, String> {
             }
             "--unique" => a.unique = true,
             "--demo" => a.demo = true,
+            "--stream" => a.stream = true,
+            "--producers" => {
+                a.producers = need(i)?.parse().map_err(|e| format!("--producers: {e}"))?;
+                i += 1;
+            }
             "--collect" => {
                 a.collect = need(i)?.parse().map_err(|e| format!("--collect: {e}"))?;
                 i += 1;
@@ -83,7 +92,8 @@ fn parse_args() -> Result<Args, String> {
                 println!(
                     "usage: csm [--graph FILE --updates FILE | --demo] \
                      [--query NAME|SPEC] [--engine gcsm|zp|um|vsgm|naive|cpu|rf] \
-                     [--batch-size N] [--budget FRAC] [--unique] [--collect K]"
+                     [--batch-size N] [--budget FRAC] [--unique] [--collect K] \
+                     [--stream [--producers N]]"
                 );
                 std::process::exit(0);
             }
@@ -130,9 +140,9 @@ fn main() {
     };
 
     let (graph, updates): (CsrGraph, Vec<EdgeUpdate>) = if args.demo {
-        let g = gcsm_datagen::social::generate_social(
-            &gcsm_datagen::social::SocialConfig::new(15, 6, 42),
-        );
+        let g = gcsm_datagen::social::generate_social(&gcsm_datagen::social::SocialConfig::new(
+            15, 6, 42,
+        ));
         let stream =
             gcsm_datagen::UpdateStream::generate(&g, gcsm_datagen::StreamConfig::Fraction(0.1), 7);
         (stream.initial, stream.updates)
@@ -172,6 +182,11 @@ fn main() {
         args.batch_size
     );
 
+    if args.stream {
+        run_stream_mode(graph, query, engine, &updates, &args);
+        return;
+    }
+
     let mut pipeline = Pipeline::new(graph, query);
     let mut cumulative = 0i64;
     let mut total_ms = 0.0;
@@ -208,4 +223,86 @@ fn main() {
         batches.len(),
         total_ms
     );
+}
+
+/// `--stream`: feed the updates through the concurrent ingestion subsystem
+/// (`gcsm::stream`) instead of pre-chunked batches. N producer threads
+/// stripe explicit sequence numbers over a bounded queue; the session
+/// coalesces, seals at `--batch-size` survivors, and keeps the running
+/// ledger. The run finishes with the ledger check against a from-scratch
+/// recount.
+fn run_stream_mode(
+    graph: CsrGraph,
+    query: QueryGraph,
+    engine: Box<dyn Engine>,
+    updates: &[EdgeUpdate],
+    args: &Args,
+) {
+    let producers = args.producers.max(1);
+    let pipeline = Pipeline::new(graph, query);
+    let base = pipeline.static_count(args.unique);
+    println!(
+        "stream mode: {} producers, seal at {} survivors, count(G_0) = {base}",
+        producers, args.batch_size
+    );
+
+    let session = gcsm::stream::spawn_pipeline(
+        pipeline,
+        engine,
+        base,
+        StreamConfig {
+            seal_policy: SealPolicy::Size(args.batch_size),
+            capacity: 1024,
+            backpressure: Backpressure::Block,
+            mode: SequenceMode::Explicit,
+        },
+    );
+    let rx = session.subscribe();
+    // The subscriber stream stays open until the session is dropped, so the
+    // printer must live on its own thread and be joined *after* finish().
+    let printer = std::thread::spawn(move || {
+        for b in rx.iter() {
+            let m = b.result.stream.expect("stream meta");
+            println!(
+                "batch {:>4}: ΔM {:+8}  (total {})  {:>4} updates  seal {:?}  \
+                 coalesced -{}  queue {:>3}  {:.3} ms sim",
+                m.batch_index,
+                b.result.matches,
+                b.running_total,
+                m.admitted,
+                m.seal_reason,
+                m.duplicates_dropped + 2 * m.cancelled_pairs,
+                m.queue_depth,
+                b.result.total_ms(),
+            );
+        }
+    });
+    std::thread::scope(|s| {
+        for p in 0..producers {
+            let producer = session.producer();
+            s.spawn(move || {
+                let mut i = p;
+                while i < updates.len() {
+                    producer.ingest_at(i as u64, updates[i]);
+                    i += producers;
+                }
+            });
+        }
+    });
+    let (report, processor) = session.finish();
+    printer.join().expect("printer thread panicked");
+    let final_total = report.batches.last().map(|b| b.running_total).unwrap_or(base);
+    let recount = processor.into_pipeline().static_count(args.unique);
+    println!(
+        "done: {} batches from {} updates ({} dropped), ledger {} vs recount {} — {}",
+        report.batches.len(),
+        report.updates_received,
+        report.dropped,
+        final_total,
+        recount,
+        if final_total == recount { "consistent" } else { "MISMATCH" },
+    );
+    if final_total != recount {
+        std::process::exit(1);
+    }
 }

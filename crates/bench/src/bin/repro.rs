@@ -6,11 +6,13 @@
 //! ```
 //!
 //! Experiments: table1 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15a
-//! fig15b table2 table3 um labeled ablations all. Options: `--scale S` (dataset scale,
-//! default 0.25), `--batches N` (measured batches per cell, default 2).
+//! fig15b table2 table3 um labeled stream ablations all. Options: `--scale S` (dataset
+//! scale, default 0.25), `--batches N` (measured batches per cell, default 2).
 
 use gcsm::prelude::*;
-use gcsm_bench::{fmt_bytes, run_cell, CellResult, EngineKind, RunConfig, Table, Workload};
+use gcsm_bench::{
+    fmt_bytes, run_cell, run_stream_cell, CellResult, EngineKind, RunConfig, Table, Workload,
+};
 use gcsm_datagen::{all_presets, Preset};
 use gcsm_graph::DynamicGraph;
 use gcsm_matcher::{match_incremental, AccessCounter, DriverOptions, DynSource, RecordingSource};
@@ -92,6 +94,9 @@ fn main() {
     if want("labeled") {
         tables.push(labeled_experiment(&rc));
     }
+    if want("stream") {
+        tables.push(stream_demo(&rc));
+    }
     if want("ablations") {
         tables.push(ablation_budget(&rc));
         tables.push(ablation_extensions(&rc));
@@ -151,6 +156,45 @@ fn labeled_experiment(rc: &RunConfig) -> Table {
             format!("{:.0}", c.hit_rate * 100.0),
             format!("{}", c.matches),
         ]);
+    }
+    t
+}
+
+/// Extra: the concurrent streaming-ingestion subsystem (`gcsm::stream`).
+/// Four producer threads stripe the update stream into a session per
+/// engine × seal policy; every cell asserts batch-by-batch equality with
+/// the serial reference and checks the running ledger against a
+/// from-scratch recount of the final graph.
+fn stream_demo(rc: &RunConfig) -> Table {
+    let mut t = Table::new(
+        "Extra: streaming ingestion (AZ, triangle, 4 producers)",
+        &["Engine", "seal policy", "batches", "coalesced", "ΔM total", "ledger", "vs serial"],
+    );
+    let w = Workload::build(Preset::Amazon, rc.scale, 512, rc.max_batches.max(2));
+    let q = queries::triangle();
+    let policies =
+        [("size 256", gcsm::SealPolicy::Size(256)), ("size 64", gcsm::SealPolicy::Size(64))];
+    for kind in [EngineKind::ZeroCopy, EngineKind::Gcsm, EngineKind::Cpu] {
+        for (pname, policy) in policies {
+            let c = run_stream_cell(kind, &w, &q, rc, 4, policy);
+            let coalesced: usize = c
+                .batches
+                .iter()
+                .filter_map(|b| b.result.stream)
+                .map(|m| m.duplicates_dropped + 2 * m.cancelled_pairs + m.self_loops_dropped)
+                .sum();
+            assert!(c.matches_serial, "{} diverged from serial reference", kind.name());
+            assert_eq!(c.final_total, c.static_total, "{} ledger drifted", kind.name());
+            t.row(vec![
+                kind.name().into(),
+                pname.into(),
+                format!("{}", c.batches.len()),
+                format!("{coalesced}"),
+                format!("{:+}", c.final_total - c.base),
+                format!("{} = recount", c.final_total),
+                "identical".into(),
+            ]);
+        }
     }
     t
 }
@@ -319,14 +363,14 @@ fn table1(rc: &RunConfig) -> Table {
 /// CPU baselines, with CPU-access byte labels.
 fn per_query_figure(title: &str, preset: Preset, batch_size: usize, rc: &RunConfig) -> Table {
     let w = Workload::build(preset, rc.scale, batch_size, rc.max_batches);
-    let engines = [EngineKind::ZeroCopy, EngineKind::NaiveDegree, EngineKind::Cpu, EngineKind::Gcsm];
+    let engines =
+        [EngineKind::ZeroCopy, EngineKind::NaiveDegree, EngineKind::Cpu, EngineKind::Gcsm];
     let mut t = Table::new(
         title,
         &["Query", "Engine", "ms/batch", "match ms", "cpu-read", "hit%", "ΔM", "speedup vs ZP"],
     );
     for q in queries::all() {
-        let cells: Vec<CellResult> =
-            engines.iter().map(|&k| run_cell(k, &w, &q, rc)).collect();
+        let cells: Vec<CellResult> = engines.iter().map(|&k| run_cell(k, &w, &q, rc)).collect();
         let zp_ms = cells[0].ms;
         let expect = cells[0].matches;
         for c in &cells {
@@ -484,8 +528,7 @@ fn fig15a(rc: &RunConfig) -> Table {
         let (counter, g) = oracle_counts(&w, &q);
         // "% of the memory access": traffic volume, so each access is
         // weighted by the list bytes it reads.
-        let curve =
-            counter.coverage_curve_weighted(&fracs, |v| g.list_bytes(v) as u64);
+        let curve = counter.coverage_curve_weighted(&fracs, |v| g.list_bytes(v) as u64);
         let mut row = vec![preset.name().to_string(), q.name().to_string()];
         row.extend(curve.iter().map(|(_, c)| format!("{:.1}%", c * 100.0)));
         t.row(row);

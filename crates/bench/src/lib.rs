@@ -15,5 +15,7 @@ pub mod runner;
 pub mod workload;
 
 pub use report::{fmt_bytes, Table};
-pub use runner::{make_engine, run_cell, CellResult, EngineKind, RunConfig};
+pub use runner::{
+    make_engine, run_cell, run_stream_cell, CellResult, EngineKind, RunConfig, StreamCellResult,
+};
 pub use workload::Workload;

@@ -1,9 +1,7 @@
 //! Plain-text table rendering for the repro harness.
 
-use serde::Serialize;
-
 /// A simple aligned text table (also JSON-serializable for `--json`).
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Table {
     title: String,
     header: Vec<String>,
@@ -68,10 +66,61 @@ impl Table {
     }
 }
 
+/// Escape a string for a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_string_array(items: &[String], out: &mut String) {
+    out.push('[');
+    for (i, item) in items.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push('"');
+        out.push_str(&json_escape(item));
+        out.push('"');
+    }
+    out.push(']');
+}
+
+/// Serialize tables to pretty-printed JSON (hand-rolled: the table model is
+/// three string fields, which does not warrant a serialization dependency).
+pub fn tables_to_json(tables: &[Table]) -> String {
+    let mut out = String::from("[\n");
+    for (t_idx, t) in tables.iter().enumerate() {
+        out.push_str("  {\n");
+        out.push_str(&format!("    \"title\": \"{}\",\n", json_escape(&t.title)));
+        out.push_str("    \"header\": ");
+        json_string_array(&t.header, &mut out);
+        out.push_str(",\n    \"rows\": [\n");
+        for (r_idx, row) in t.rows.iter().enumerate() {
+            out.push_str("      ");
+            json_string_array(row, &mut out);
+            out.push_str(if r_idx + 1 < t.rows.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("    ]\n  }");
+        out.push_str(if t_idx + 1 < tables.len() { ",\n" } else { "\n" });
+    }
+    out.push(']');
+    out
+}
+
 /// Write a set of tables as a JSON report.
 pub fn write_json(tables: &[Table], path: &str) -> std::io::Result<()> {
-    let json = serde_json::to_string_pretty(tables).expect("tables serialize");
-    std::fs::write(path, json)
+    std::fs::write(path, tables_to_json(tables))
 }
 
 /// Human-readable byte count.
@@ -106,6 +155,21 @@ mod tests {
     fn wrong_arity_panics() {
         let mut t = Table::new("x", &["a"]);
         t.row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn json_output_is_valid_and_escaped() {
+        let mut t = Table::new("q\"uote", &["col\\1", "col2"]);
+        t.row(vec!["a\nb".into(), "plain".into()]);
+        let json = tables_to_json(&[t]);
+        assert!(json.contains(r#""title": "q\"uote""#));
+        assert!(json.contains(r#""col\\1""#));
+        assert!(json.contains(r#""a\nb""#));
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        // Balanced braces/brackets as a cheap well-formedness check.
+        let opens = json.matches(['{', '[']).count();
+        let closes = json.matches(['}', ']']).count();
+        assert_eq!(opens, closes);
     }
 
     #[test]

@@ -134,6 +134,91 @@ pub fn run_cell(kind: EngineKind, w: &Workload, q: &QueryGraph, rc: &RunConfig) 
     agg
 }
 
+/// Outcome of one multi-producer streaming-ingestion run, with the two
+/// checks the stream subsystem guarantees.
+#[derive(Clone, Debug)]
+pub struct StreamCellResult {
+    /// Every sealed batch (metadata rides in `result.stream`).
+    pub batches: Vec<gcsm::stream::StreamBatch>,
+    /// `count(G_0)` used as the ledger base.
+    pub base: i64,
+    /// Ledger after the last batch (`base + Σ ΔM`).
+    pub final_total: i64,
+    /// From-scratch count of the final graph (ledger check: must equal
+    /// `final_total`).
+    pub static_total: i64,
+    /// Whether the concurrent run matched the serial reference batch by
+    /// batch (same update sequences, same ΔM).
+    pub matches_serial: bool,
+}
+
+/// Stream the workload's updates through a concurrent session with
+/// `producers` threads striping explicit sequence numbers, then verify the
+/// result against the serial reference and a from-scratch recount.
+pub fn run_stream_cell(
+    kind: EngineKind,
+    w: &Workload,
+    q: &QueryGraph,
+    rc: &RunConfig,
+    producers: usize,
+    policy: gcsm::SealPolicy,
+) -> StreamCellResult {
+    use gcsm::stream::{replay_serial, StreamEvent};
+
+    let producers = producers.max(1);
+    let cfg = rc.engine_config(w);
+    let updates: Vec<gcsm_graph::EdgeUpdate> =
+        w.batches.iter().flat_map(|b| b.iter().copied()).collect();
+
+    let pipeline = Pipeline::new(w.initial.clone(), q.clone());
+    let base = pipeline.static_count(rc.symmetry_break);
+    let session = gcsm::stream::spawn_pipeline(
+        pipeline,
+        make_engine(kind, cfg.clone()),
+        base,
+        StreamConfig {
+            seal_policy: policy,
+            capacity: 1024,
+            backpressure: Backpressure::Block,
+            mode: SequenceMode::Explicit,
+        },
+    );
+    std::thread::scope(|s| {
+        for p in 0..producers {
+            let producer = session.producer();
+            let updates = &updates;
+            s.spawn(move || {
+                let mut i = p;
+                while i < updates.len() {
+                    producer.ingest_at(i as u64, updates[i]);
+                    i += producers;
+                }
+            });
+        }
+    });
+    let (report, processor) = session.finish();
+    let static_total = processor.into_pipeline().static_count(rc.symmetry_break);
+    let final_total = report.batches.last().map(|b| b.running_total).unwrap_or(base);
+
+    // Serial reference: same events, same policy, fresh pipeline + engine.
+    let events: Vec<(u64, StreamEvent)> =
+        updates.iter().enumerate().map(|(i, &u)| (i as u64, StreamEvent::Update(u))).collect();
+    let mut serial_pipeline = Pipeline::new(w.initial.clone(), q.clone());
+    let mut serial_engine = make_engine(kind, cfg);
+    let serial: Vec<(Vec<gcsm_graph::EdgeUpdate>, i64)> =
+        replay_serial(&events, policy, |sealed| {
+            let r = serial_pipeline.process_batch(serial_engine.as_mut(), &sealed.updates);
+            (sealed.updates.clone(), r.matches)
+        });
+    let matches_serial = serial.len() == report.batches.len()
+        && serial
+            .iter()
+            .zip(&report.batches)
+            .all(|((u, dm), b)| *u == b.updates && *dm == b.result.matches);
+
+    StreamCellResult { batches: report.batches, base, final_total, static_total, matches_serial }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -154,12 +239,29 @@ mod tests {
             EngineKind::Cpu,
             EngineKind::RapidFlow,
         ];
-        let results: Vec<CellResult> =
-            kinds.iter().map(|&k| run_cell(k, &w, &q, &rc)).collect();
+        let results: Vec<CellResult> = kinds.iter().map(|&k| run_cell(k, &w, &q, &rc)).collect();
         let expect = results[0].matches;
         for r in &results {
             assert_eq!(r.matches, expect, "{} disagrees", r.engine);
             assert!(r.ms > 0.0, "{} has zero time", r.engine);
         }
+    }
+
+    #[test]
+    fn stream_cell_verifies_itself() {
+        let rc = RunConfig { scale: 0.0625, max_batches: 2, ..Default::default() };
+        let w = Workload::build(Preset::Amazon, rc.scale, 32, rc.max_batches);
+        let cell = run_stream_cell(
+            EngineKind::ZeroCopy,
+            &w,
+            &queries::triangle(),
+            &rc,
+            4,
+            gcsm::SealPolicy::Size(32),
+        );
+        assert!(cell.matches_serial, "concurrent run diverged from serial reference");
+        assert_eq!(cell.final_total, cell.static_total, "ledger drifted");
+        assert!(!cell.batches.is_empty());
+        assert!(cell.batches.iter().all(|b| b.result.stream.is_some()));
     }
 }

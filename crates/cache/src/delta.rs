@@ -68,11 +68,7 @@ impl DeltaPlan {
 
     /// Bytes that must cross PCIe under this plan (added + refreshed rows).
     pub fn transfer_bytes(&self, graph: &DynamicGraph) -> usize {
-        self.add
-            .iter()
-            .chain(&self.refresh)
-            .map(|&v| graph.list_bytes(v))
-            .sum()
+        self.add.iter().chain(&self.refresh).map(|&v| graph.list_bytes(v)).sum()
     }
 
     /// Fraction of the full-pack volume this plan avoids.
@@ -105,11 +101,7 @@ impl DeltaPlanner {
     /// report the plan. The returned [`Dcsr`] equals a fresh pack of
     /// `selection`; the plan tells the caller how many bytes actually need
     /// shipping.
-    pub fn update(
-        &mut self,
-        graph: &DynamicGraph,
-        selection: &[VertexId],
-    ) -> (Dcsr, DeltaPlan) {
+    pub fn update(&mut self, graph: &DynamicGraph, selection: &[VertexId]) -> (Dcsr, DeltaPlan) {
         let plan = DeltaPlan::diff(&self.resident, selection, graph.updated_vertices());
         let dcsr = Dcsr::pack(graph, selection);
         self.resident = selection.to_vec();

@@ -95,10 +95,7 @@ impl Dcsr {
         let (start, tail) = self.rowptr[row];
         let end = self.rowptr[row + 1].0;
         let split = if tail == NO_TAIL { end } else { tail };
-        (
-            &self.colidx[start as usize..split as usize],
-            &self.colidx[split as usize..end as usize],
-        )
+        (&self.colidx[start as usize..split as usize], &self.colidx[split as usize..end as usize])
     }
 
     /// Neighbor view of a cached vertex. `old = true` yields the paper's

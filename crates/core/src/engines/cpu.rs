@@ -10,8 +10,8 @@
 use super::{Engine, Measurer};
 use crate::config::EngineConfig;
 use crate::result::{BatchResult, PhaseBreakdown};
-use gcsm_graph::{DynamicGraph, EdgeUpdate};
 use gcsm_gpusim::Device;
+use gcsm_graph::{DynamicGraph, EdgeUpdate};
 use gcsm_matcher::{match_incremental, DriverOptions, DynSource};
 use gcsm_pattern::QueryGraph;
 

@@ -18,9 +18,11 @@ use crate::kernel::run_gpu_kernel_with_plans;
 use crate::result::{BatchResult, PhaseBreakdown};
 use crate::sources::CachedSource;
 use gcsm_cache::{Dcsr, DeltaPlanner};
-use gcsm_freq::{estimate_merged, recommended_walks, select_top_frequency, FreqEstimate, WalkParams};
-use gcsm_graph::{DynamicGraph, EdgeUpdate};
+use gcsm_freq::{
+    estimate_merged, recommended_walks, select_top_frequency, FreqEstimate, WalkParams,
+};
 use gcsm_gpusim::Device;
+use gcsm_graph::{DynamicGraph, EdgeUpdate};
 use gcsm_matcher::DynSource;
 use gcsm_pattern::{compile_incremental, compile_incremental_scored, QueryGraph};
 
@@ -154,8 +156,7 @@ impl Engine for GcsmEngine {
                         if capped <= walks {
                             break est;
                         }
-                        phases.freq_est +=
-                            est.walk_ops as f64 * self.cfg.gpu.walk_op_cost;
+                        phases.freq_est += est.walk_ops as f64 * self.cfg.gpu.walk_op_cost;
                         walks = capped;
                     }
                 }
@@ -190,13 +191,11 @@ impl Engine for GcsmEngine {
         let cached_bytes = dcsr.bytes();
         self.device.dma(shipped_bytes);
         // Host-side packing streams the shipped lists once.
-        phases.data_copy =
-            m.lap() + shipped_bytes as f64 / self.cfg.gpu.cpu_mem_bandwidth;
+        phases.data_copy = m.lap() + shipped_bytes as f64 / self.cfg.gpu.cpu_mem_bandwidth;
 
         // ---- Step 4: the matching kernel (same plans the walks sampled) ----
         let src = CachedSource { graph, device: &self.device, dcsr: &dcsr };
-        let run =
-            run_gpu_kernel_with_plans(&self.device, &src, &plans, batch, &self.cfg);
+        let run = run_gpu_kernel_with_plans(&self.device, &src, &plans, batch, &self.cfg);
         // Stretch the kernel's time by the grid load-imbalance factor of
         // the configured scheduling policy (1.0 under perfect balance).
         phases.matching = m.lap() * run.imbalance;
@@ -346,12 +345,7 @@ mod tests {
             }
         }
         assert_eq!(counts[0], counts[1], "delta cache must not change counts");
-        assert!(
-            dma[1] < dma[0],
-            "delta cache must reduce DMA: {} vs {}",
-            dma[1],
-            dma[0]
-        );
+        assert!(dma[1] < dma[0], "delta cache must reduce DMA: {} vs {}", dma[1], dma[0]);
     }
 
     #[test]

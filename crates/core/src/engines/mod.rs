@@ -34,8 +34,8 @@ pub use zerocopy::ZeroCopyEngine;
 
 use crate::config::EngineConfig;
 use crate::result::BatchResult;
-use gcsm_graph::{DynamicGraph, EdgeUpdate};
 use gcsm_gpusim::Device;
+use gcsm_graph::{DynamicGraph, EdgeUpdate};
 use gcsm_pattern::QueryGraph;
 
 /// A continuous-subgraph-matching system under evaluation.
@@ -45,7 +45,10 @@ use gcsm_pattern::QueryGraph;
 /// return the measured [`BatchResult`]. Reorganisation happens after the
 /// engine returns, matching the paper's ordering ("the graph reorganization
 /// on CPU is conducted after the matching is completed on the GPU").
-pub trait Engine {
+///
+/// `Send` so sessions (`crate::stream`) can move engines onto the worker
+/// thread; engines hold only plain data and seeded RNG state.
+pub trait Engine: Send {
     /// Display name used in figures ("GCSM", "ZP", ...).
     fn name(&self) -> &'static str;
 
@@ -107,6 +110,7 @@ impl<'a> Measurer<'a> {
             cached_bytes,
             stats,
             aux_bytes,
+            stream: None,
         }
     }
 }

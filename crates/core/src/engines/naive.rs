@@ -13,8 +13,8 @@ use crate::result::{BatchResult, PhaseBreakdown};
 use crate::sources::CachedSource;
 use gcsm_cache::Dcsr;
 use gcsm_freq::select_by_degree;
-use gcsm_graph::{DynamicGraph, EdgeUpdate, VertexId};
 use gcsm_gpusim::Device;
+use gcsm_graph::{DynamicGraph, EdgeUpdate, VertexId};
 use gcsm_pattern::QueryGraph;
 
 /// The degree-ranked-cache engine.

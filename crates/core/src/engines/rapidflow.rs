@@ -10,8 +10,8 @@ use super::{Engine, Measurer};
 use crate::config::EngineConfig;
 use crate::result::{BatchResult, PhaseBreakdown};
 use gcsm_baselines::RapidFlow;
-use gcsm_graph::{DynamicGraph, EdgeUpdate};
 use gcsm_gpusim::Device;
+use gcsm_graph::{DynamicGraph, EdgeUpdate};
 use gcsm_pattern::QueryGraph;
 
 /// The RapidFlow-like engine.
@@ -61,8 +61,7 @@ impl Engine for RapidFlowEngine {
         let maintenance_items;
         match &mut self.inner {
             None => {
-                self.inner =
-                    Some(RapidFlow::new(query.clone(), graph, self.cfg.plan));
+                self.inner = Some(RapidFlow::new(query.clone(), graph, self.cfg.plan));
                 maintenance_items = graph.num_vertices() * query.num_vertices();
             }
             Some(rf) => {

@@ -12,8 +12,8 @@ use crate::config::EngineConfig;
 use crate::kernel::run_gpu_kernel;
 use crate::result::{BatchResult, PhaseBreakdown};
 use crate::sources::UnifiedSource;
-use gcsm_graph::{DynamicGraph, EdgeUpdate};
 use gcsm_gpusim::Device;
+use gcsm_graph::{DynamicGraph, EdgeUpdate};
 use gcsm_pattern::QueryGraph;
 
 /// The UM engine.
@@ -55,8 +55,7 @@ impl Engine for UnifiedMemEngine {
         let addr = AddrMap::build(graph);
         let src = UnifiedSource { graph, device: &self.device, addr: &addr };
         let run = run_gpu_kernel(&self.device, &src, query, batch, &self.cfg);
-        let phases =
-            PhaseBreakdown { matching: m.lap() * run.imbalance, ..Default::default() };
+        let phases = PhaseBreakdown { matching: m.lap() * run.imbalance, ..Default::default() };
         let stats = run.stats;
         m.finish(self.name(), stats, phases, 0, 0, overall)
     }

@@ -14,8 +14,8 @@ use crate::khop::khop_vertices;
 use crate::result::{BatchResult, PhaseBreakdown};
 use crate::sources::CachedSource;
 use gcsm_cache::Dcsr;
-use gcsm_graph::{DynamicGraph, EdgeUpdate};
 use gcsm_gpusim::Device;
+use gcsm_graph::{DynamicGraph, EdgeUpdate};
 use gcsm_pattern::QueryGraph;
 
 /// The VSGM engine.
@@ -70,8 +70,7 @@ impl Engine for VsgmEngine {
         self.last_overflow = cached_bytes > self.cfg.gpu.device_capacity;
         self.device.dma(cached_bytes);
         // Host side: the BFS walks every copied list once, then packs it.
-        phases.data_copy =
-            m.lap() + 2.0 * cached_bytes as f64 / self.cfg.gpu.cpu_mem_bandwidth;
+        phases.data_copy = m.lap() + 2.0 * cached_bytes as f64 / self.cfg.gpu.cpu_mem_bandwidth;
 
         // ---- Match: all accesses should now hit device memory ----
         let src = CachedSource { graph, device: &self.device, dcsr: &dcsr };

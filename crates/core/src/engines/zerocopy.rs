@@ -10,8 +10,8 @@ use crate::config::EngineConfig;
 use crate::kernel::run_gpu_kernel;
 use crate::result::{BatchResult, PhaseBreakdown};
 use crate::sources::ZeroCopySource;
-use gcsm_graph::{DynamicGraph, EdgeUpdate};
 use gcsm_gpusim::Device;
+use gcsm_graph::{DynamicGraph, EdgeUpdate};
 use gcsm_pattern::QueryGraph;
 
 /// The ZP engine.
@@ -51,8 +51,7 @@ impl Engine for ZeroCopyEngine {
         let mut m = Measurer::begin(&self.device, &self.cfg);
         let src = ZeroCopySource { graph, device: &self.device };
         let run = run_gpu_kernel(&self.device, &src, query, batch, &self.cfg);
-        let phases =
-            PhaseBreakdown { matching: m.lap() * run.imbalance, ..Default::default() };
+        let phases = PhaseBreakdown { matching: m.lap() * run.imbalance, ..Default::default() };
         let stats = run.stats;
         m.finish(self.name(), stats, phases, 0, 0, overall)
     }

@@ -9,8 +9,8 @@
 //! `gpu_ops`.
 
 use crate::config::EngineConfig;
-use gcsm_graph::EdgeUpdate;
 use gcsm_gpusim::Device;
+use gcsm_graph::EdgeUpdate;
 use gcsm_matcher::{
     delta_seeds, match_from_seed, match_from_seed_stack, EnumeratorKind, MatchStats,
     NeighborSource, Scratch, StackScratch,
@@ -55,16 +55,15 @@ pub fn run_gpu_kernel_with_plans<S: NeighborSource>(
     // Per-task cost vector (intersect ops + list accesses as a proxy for
     // the task's memory time) for the load-balance model.
     let tasks = delta_seeds(plans, batch);
-    let run_task = |rs: &mut Scratch, ss: &mut StackScratch, pi: usize, a, b, sign| match cfg
-        .enumerator
-    {
-        EnumeratorKind::Recursive => {
-            match_from_seed(src, &plans[pi], a, b, sign, cfg.algo, rs, &mut |_, _| {})
-        }
-        EnumeratorKind::Stack => {
-            match_from_seed_stack(src, &plans[pi], a, b, sign, cfg.algo, ss, &mut |_, _| {})
-        }
-    };
+    let run_task =
+        |rs: &mut Scratch, ss: &mut StackScratch, pi: usize, a, b, sign| match cfg.enumerator {
+            EnumeratorKind::Recursive => {
+                match_from_seed(src, &plans[pi], a, b, sign, cfg.algo, rs, &mut |_, _| {})
+            }
+            EnumeratorKind::Stack => {
+                match_from_seed_stack(src, &plans[pi], a, b, sign, cfg.algo, ss, &mut |_, _| {})
+            }
+        };
     let per_task: Vec<(MatchStats, u64)> = if cfg.parallel_kernel {
         tasks
             .par_iter()
@@ -90,8 +89,7 @@ pub fn run_gpu_kernel_with_plans<S: NeighborSource>(
             .collect()
     };
     let costs: Vec<u64> = per_task.iter().map(|(_, c)| *c).collect();
-    let imbalance =
-        gcsm_gpusim::imbalance_factor(&costs, cfg.gpu.num_blocks, cfg.scheduling);
+    let imbalance = gcsm_gpusim::imbalance_factor(&costs, cfg.gpu.num_blocks, cfg.scheduling);
     let stats = per_task.into_iter().map(|(s, _)| s).sum::<MatchStats>();
     device.gpu_ops(stats.intersect_ops);
     KernelRun { stats, imbalance }
@@ -122,9 +120,9 @@ pub fn run_gpu_kernel_static<S: NeighborSource>(
                         EnumeratorKind::Recursive => {
                             match_from_seed(src, &plan, a, b, 1, cfg.algo, rs, &mut |_, _| {})
                         }
-                        EnumeratorKind::Stack => match_from_seed_stack(
-                            src, &plan, a, b, 1, cfg.algo, ss, &mut |_, _| {},
-                        ),
+                        EnumeratorKind::Stack => {
+                            match_from_seed_stack(src, &plan, a, b, 1, cfg.algo, ss, &mut |_, _| {})
+                        }
                     };
                     acc.merge(s);
                 }
@@ -144,8 +142,8 @@ pub fn run_gpu_kernel_static<S: NeighborSource>(
 mod tests {
     use super::*;
     use crate::sources::ZeroCopySource;
-    use gcsm_graph::{CsrGraph, DynamicGraph};
     use gcsm_gpusim::GpuConfig;
+    use gcsm_graph::{CsrGraph, DynamicGraph};
     use gcsm_pattern::queries;
 
     #[test]
@@ -157,8 +155,7 @@ mod tests {
         let device = Device::new(GpuConfig::default());
         let src = ZeroCopySource { graph: &g, device: &device };
         let cfg = EngineConfig::default();
-        let run =
-            run_gpu_kernel(&device, &src, &queries::triangle(), &summary.applied, &cfg);
+        let run = run_gpu_kernel(&device, &src, &queries::triangle(), &summary.applied, &cfg);
         assert_eq!(run.stats.matches, 6); // one new triangle (1,2,3) × |Aut|=6
         assert!(run.imbalance >= 1.0);
         let t = device.snapshot();

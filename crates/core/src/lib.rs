@@ -45,11 +45,12 @@ pub mod addr;
 pub mod config;
 pub mod engines;
 pub mod kernel;
-pub mod multi;
 pub mod khop;
+pub mod multi;
 pub mod pipeline;
 pub mod result;
 pub mod sources;
+pub mod stream;
 
 pub use config::EngineConfig;
 pub use engines::{
@@ -58,7 +59,10 @@ pub use engines::{
 };
 pub use multi::{MultiBatchResult, MultiPipeline};
 pub use pipeline::Pipeline;
-pub use result::{BatchResult, PhaseBreakdown};
+pub use result::{BatchResult, PhaseBreakdown, SealReason, StreamMeta};
+pub use stream::{
+    Backpressure, SealPolicy, SequenceMode, StreamConfig, StreamProducer, StreamSession,
+};
 
 /// Convenient glob imports for examples and benches.
 pub mod prelude {
@@ -69,5 +73,8 @@ pub mod prelude {
     };
     pub use crate::multi::{MultiBatchResult, MultiPipeline};
     pub use crate::pipeline::Pipeline;
-    pub use crate::result::{BatchResult, PhaseBreakdown};
+    pub use crate::result::{BatchResult, PhaseBreakdown, SealReason, StreamMeta};
+    pub use crate::stream::{
+        Backpressure, SealPolicy, SequenceMode, StreamBatch, StreamConfig, StreamSession,
+    };
 }

@@ -74,11 +74,8 @@ impl MultiPipeline {
             self.graph.apply(u);
         }
         let summary = self.graph.seal_batch();
-        let cpu_bw = self
-            .queries
-            .first()
-            .map(|r| r.engine.config().gpu.cpu_mem_bandwidth)
-            .unwrap_or(25.0e9);
+        let cpu_bw =
+            self.queries.first().map(|r| r.engine.config().gpu.cpu_mem_bandwidth).unwrap_or(25.0e9);
         let touched_bytes: usize =
             self.graph.updated_vertices().iter().map(|&v| self.graph.list_bytes(v)).sum();
         let update_sim = touched_bytes as f64 / cpu_bw;
@@ -115,11 +112,8 @@ mod tests {
 
     fn setup() -> (CsrGraph, Vec<EdgeUpdate>) {
         let g0 = CsrGraph::from_edges(7, &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5)]);
-        let batch = vec![
-            EdgeUpdate::insert(2, 4),
-            EdgeUpdate::insert(3, 5),
-            EdgeUpdate::delete(0, 1),
-        ];
+        let batch =
+            vec![EdgeUpdate::insert(2, 4), EdgeUpdate::insert(3, 5), EdgeUpdate::delete(0, 1)];
         (g0, batch)
     }
 

@@ -42,13 +42,8 @@ impl Pipeline {
             parallel: true,
             ..Default::default()
         };
-        gcsm_matcher::match_static(
-            &src,
-            &self.query,
-            &snapshot.edges().collect::<Vec<_>>(),
-            &opts,
-        )
-        .matches
+        gcsm_matcher::match_static(&src, &self.query, &snapshot.edges().collect::<Vec<_>>(), &opts)
+            .matches
     }
 
     /// Single-edge update mode (the paper's Sec. II-A "single-edge
@@ -78,10 +73,8 @@ impl Pipeline {
         let mut result = engine.match_sealed(&self.graph, &summary.applied, &self.query);
         let collected = {
             let src = gcsm_matcher::DynSource::new(&self.graph);
-            let opts = gcsm_matcher::DriverOptions {
-                plan: engine.config().plan,
-                ..Default::default()
-            };
+            let opts =
+                gcsm_matcher::DriverOptions { plan: engine.config().plan, ..Default::default() };
             gcsm_matcher::collect_incremental(&src, &self.query, &summary.applied, &opts)
         };
         debug_assert_eq!(
@@ -100,7 +93,11 @@ impl Pipeline {
 
     /// Process one batch end to end. Returns the engine's measurements
     /// with the pipeline-side phases (update, reorganize) filled in.
-    pub fn process_batch(&mut self, engine: &mut dyn Engine, updates: &[EdgeUpdate]) -> BatchResult {
+    pub fn process_batch(
+        &mut self,
+        engine: &mut dyn Engine,
+        updates: &[EdgeUpdate],
+    ) -> BatchResult {
         let cpu_bw = engine.config().gpu.cpu_mem_bandwidth;
 
         // ---- Step 1: append ΔE to the CPU lists ----

@@ -45,6 +45,44 @@ impl PhaseBreakdown {
     }
 }
 
+/// Why the streaming front-end sealed a batch.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SealReason {
+    /// The window reached the size threshold.
+    #[default]
+    Size,
+    /// A logical tick event arrived with a non-empty window.
+    Tick,
+    /// Session shutdown drained the remaining window.
+    Flush,
+}
+
+/// Streaming-ingestion metadata attached to a [`BatchResult`] when the
+/// batch was sealed by `gcsm::stream` (absent for directly-driven batches).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StreamMeta {
+    /// Zero-based index of this batch within the session.
+    pub batch_index: u64,
+    /// Lowest sequence number among the batch's surviving updates.
+    pub first_seq: u64,
+    /// Highest sequence number among the batch's surviving updates.
+    pub last_seq: u64,
+    /// Surviving updates handed to the pipeline.
+    pub admitted: usize,
+    /// Duplicate updates dropped by coalescing in this window.
+    pub duplicates_dropped: usize,
+    /// Insert/delete pairs annihilated by coalescing in this window.
+    pub cancelled_pairs: usize,
+    /// Self-loop updates rejected at admission in this window.
+    pub self_loops_dropped: usize,
+    /// What triggered the seal.
+    pub seal_reason: SealReason,
+    /// Ingest-queue depth observed when the batch sealed.
+    pub queue_depth: usize,
+    /// Wall-clock seconds from the window's first admission to seal.
+    pub window_open_seconds: f64,
+}
+
 /// Everything measured for one batch on one engine.
 #[derive(Clone, Debug, Default)]
 pub struct BatchResult {
@@ -72,6 +110,8 @@ pub struct BatchResult {
     pub stats: MatchStats,
     /// Engine-specific auxiliary memory (e.g. RapidFlow's candidate index).
     pub aux_bytes: usize,
+    /// Streaming-ingestion metadata (set by `gcsm::stream` sessions).
+    pub stream: Option<StreamMeta>,
 }
 
 impl BatchResult {

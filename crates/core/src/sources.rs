@@ -14,8 +14,8 @@
 
 use crate::addr::AddrMap;
 use gcsm_cache::Dcsr;
-use gcsm_graph::{DynamicGraph, Label, NeighborView, VertexId};
 use gcsm_gpusim::{AccessPath, Device};
+use gcsm_graph::{DynamicGraph, Label, NeighborView, VertexId};
 use gcsm_matcher::NeighborSource;
 use gcsm_pattern::ViewSel;
 
@@ -150,8 +150,8 @@ impl NeighborSource for CachedSource<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gcsm_graph::{CsrGraph, EdgeUpdate};
     use gcsm_gpusim::GpuConfig;
+    use gcsm_graph::{CsrGraph, EdgeUpdate};
 
     fn sealed_graph() -> DynamicGraph {
         let g0 = CsrGraph::from_edges(5, &[(0, 1), (0, 2), (1, 2), (2, 3)]);

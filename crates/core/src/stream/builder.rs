@@ -1,0 +1,256 @@
+//! Deterministic batch building: seal policies and the coalescing window.
+//!
+//! [`BatchBuilder`] is the single place where batch boundaries are decided.
+//! Both the concurrent session worker (`super::session`) and the serial
+//! reference ([`replay_serial`]) drive the same builder, so "replaying the
+//! same sequenced events through the same policy yields the same batches"
+//! holds by construction — the tests in `tests/tests/stream_determinism.rs`
+//! verify it end to end anyway.
+
+use crate::result::{SealReason, StreamMeta};
+use gcsm_graph::{CoalesceWindow, EdgeUpdate};
+use std::time::Instant;
+
+/// One element of a sequenced stream: an edge update or a logical tick.
+///
+/// Ticks are ordinary events *inside* the sequenced total order — a
+/// wall-clock timer can be the thing that injects them, but the builder
+/// only ever sees their position in the sequence, which is what keeps
+/// tick-based sealing replayable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StreamEvent {
+    Update(EdgeUpdate),
+    Tick,
+}
+
+/// When the open window is sealed into a batch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SealPolicy {
+    /// Seal as soon as the window holds `n` surviving updates.
+    Size(usize),
+    /// Seal only on logical tick events.
+    OnTick,
+    /// Seal at `n` survivors or on a tick, whichever comes first.
+    SizeOrTick(usize),
+}
+
+impl SealPolicy {
+    fn size_threshold(&self) -> Option<usize> {
+        match *self {
+            SealPolicy::Size(n) | SealPolicy::SizeOrTick(n) => Some(n),
+            SealPolicy::OnTick => None,
+        }
+    }
+
+    fn seals_on_tick(&self) -> bool {
+        matches!(self, SealPolicy::OnTick | SealPolicy::SizeOrTick(_))
+    }
+}
+
+/// A sealed batch: the surviving updates (in sequence order) plus the
+/// metadata that will ride on the [`crate::BatchResult`].
+#[derive(Clone, Debug)]
+pub struct SealedBatch {
+    pub updates: Vec<EdgeUpdate>,
+    pub meta: StreamMeta,
+}
+
+/// Accumulates sequenced events into a coalescing window and seals batches
+/// per the policy. Events **must** be offered in increasing `seq` order —
+/// the sequencer (or `replay_serial`'s sort) guarantees that.
+pub struct BatchBuilder {
+    policy: SealPolicy,
+    window: CoalesceWindow,
+    batch_index: u64,
+    /// Sequence span of events routed into the open window (including
+    /// duplicates, cancellations and rejected self-loops).
+    span: Option<(u64, u64)>,
+    opened_at: Option<Instant>,
+}
+
+impl BatchBuilder {
+    pub fn new(policy: SealPolicy) -> Self {
+        if let Some(n) = policy.size_threshold() {
+            assert!(n >= 1, "SealPolicy size threshold must be at least 1");
+        }
+        Self { policy, window: CoalesceWindow::new(), batch_index: 0, span: None, opened_at: None }
+    }
+
+    pub fn policy(&self) -> SealPolicy {
+        self.policy
+    }
+
+    /// Surviving updates currently pending.
+    pub fn pending(&self) -> usize {
+        self.window.len()
+    }
+
+    fn note_seq(&mut self, seq: u64) {
+        self.span = Some(match self.span {
+            None => (seq, seq),
+            Some((lo, hi)) => (lo.min(seq), hi.max(seq)),
+        });
+        if self.opened_at.is_none() {
+            self.opened_at = Some(Instant::now());
+        }
+    }
+
+    fn seal(&mut self, reason: SealReason) -> SealedBatch {
+        let (updates, stats) = self.window.drain();
+        let (first_seq, last_seq) = self.span.take().unwrap_or((0, 0));
+        let meta = StreamMeta {
+            batch_index: self.batch_index,
+            first_seq,
+            last_seq,
+            admitted: updates.len(),
+            duplicates_dropped: stats.duplicates,
+            cancelled_pairs: stats.cancelled_pairs,
+            self_loops_dropped: stats.self_loops,
+            seal_reason: reason,
+            queue_depth: 0, // filled by the session worker
+            window_open_seconds: self
+                .opened_at
+                .take()
+                .map(|t| t.elapsed().as_secs_f64())
+                .unwrap_or(0.0),
+        };
+        self.batch_index += 1;
+        SealedBatch { updates, meta }
+    }
+
+    /// Offer one sequenced update. Returns the sealed batch if this update
+    /// brought the window to a size threshold.
+    pub fn offer(&mut self, seq: u64, update: EdgeUpdate) -> Option<SealedBatch> {
+        self.note_seq(seq);
+        self.window.admit(seq, update);
+        match self.policy.size_threshold() {
+            Some(n) if self.window.len() >= n => Some(self.seal(SealReason::Size)),
+            _ => None,
+        }
+    }
+
+    /// A logical tick at sequence `seq`. Seals the window under tick-based
+    /// policies — unless it holds no survivors, in which case nothing is
+    /// emitted and the window's counters/span carry into the next batch.
+    pub fn tick(&mut self, seq: u64) -> Option<SealedBatch> {
+        self.note_seq(seq);
+        if self.policy.seals_on_tick() && !self.window.is_empty() {
+            Some(self.seal(SealReason::Tick))
+        } else {
+            None
+        }
+    }
+
+    /// Session shutdown: seal whatever survives in the window.
+    pub fn flush(&mut self) -> Option<SealedBatch> {
+        if self.window.is_empty() {
+            None
+        } else {
+            Some(self.seal(SealReason::Flush))
+        }
+    }
+}
+
+/// Serial reference semantics: sort the events by sequence number and run
+/// them through a fresh [`BatchBuilder`], processing each sealed batch with
+/// `process`. A concurrent session over the same events, policy, and
+/// initial pipeline state must produce exactly this batch sequence.
+pub fn replay_serial<T>(
+    events: &[(u64, StreamEvent)],
+    policy: SealPolicy,
+    mut process: impl FnMut(&SealedBatch) -> T,
+) -> Vec<T> {
+    let mut sorted = events.to_vec();
+    sorted.sort_unstable_by_key(|&(seq, _)| seq);
+    debug_assert!(sorted.windows(2).all(|w| w[0].0 != w[1].0), "sequence numbers must be distinct");
+    let mut builder = BatchBuilder::new(policy);
+    let mut out = Vec::new();
+    for &(seq, event) in &sorted {
+        let sealed = match event {
+            StreamEvent::Update(u) => builder.offer(seq, u),
+            StreamEvent::Tick => builder.tick(seq),
+        };
+        if let Some(sealed) = sealed {
+            out.push(process(&sealed));
+        }
+    }
+    if let Some(sealed) = builder.flush() {
+        out.push(process(&sealed));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcsm_graph::EdgeUpdate;
+
+    fn ins(s: u32, d: u32) -> EdgeUpdate {
+        EdgeUpdate::insert(s, d)
+    }
+
+    #[test]
+    fn size_policy_seals_at_threshold() {
+        let mut b = BatchBuilder::new(SealPolicy::Size(2));
+        assert!(b.offer(0, ins(0, 1)).is_none());
+        let sealed = b.offer(1, ins(1, 2)).expect("threshold reached");
+        assert_eq!(sealed.updates, vec![ins(0, 1), ins(1, 2)]);
+        assert_eq!(sealed.meta.seal_reason, crate::result::SealReason::Size);
+        assert_eq!(sealed.meta.batch_index, 0);
+        assert_eq!((sealed.meta.first_seq, sealed.meta.last_seq), (0, 1));
+        assert!(b.offer(2, ins(2, 3)).is_none());
+        let sealed = b.flush().expect("flush remainder");
+        assert_eq!(sealed.meta.batch_index, 1);
+        assert_eq!(sealed.meta.seal_reason, crate::result::SealReason::Flush);
+    }
+
+    #[test]
+    fn cancellation_keeps_window_open() {
+        let mut b = BatchBuilder::new(SealPolicy::Size(2));
+        assert!(b.offer(0, ins(0, 1)).is_none());
+        // Cancel it: the window is back to zero survivors, no seal.
+        assert!(b.offer(1, EdgeUpdate::delete(0, 1)).is_none());
+        assert_eq!(b.pending(), 0);
+        assert!(b.offer(2, ins(5, 6)).is_none());
+        let sealed = b.offer(3, ins(6, 7)).expect("two survivors now");
+        assert_eq!(sealed.meta.cancelled_pairs, 1);
+        // Span covers the cancelled prefix too.
+        assert_eq!((sealed.meta.first_seq, sealed.meta.last_seq), (0, 3));
+    }
+
+    #[test]
+    fn tick_policy_and_empty_tick() {
+        let mut b = BatchBuilder::new(SealPolicy::OnTick);
+        assert!(b.tick(0).is_none(), "empty window: tick emits nothing");
+        for s in 1..5u64 {
+            assert!(b.offer(s, ins(s as u32, s as u32 + 1)).is_none());
+        }
+        let sealed = b.tick(5).expect("tick seals");
+        assert_eq!(sealed.meta.admitted, 4);
+        assert_eq!(sealed.meta.seal_reason, crate::result::SealReason::Tick);
+        assert!(b.flush().is_none(), "nothing pending after tick seal");
+    }
+
+    #[test]
+    fn size_or_tick_takes_whichever_first() {
+        let mut b = BatchBuilder::new(SealPolicy::SizeOrTick(3));
+        b.offer(0, ins(0, 1));
+        let sealed = b.tick(1).expect("tick before size");
+        assert_eq!(sealed.meta.admitted, 1);
+        b.offer(2, ins(1, 2));
+        b.offer(3, ins(2, 3));
+        let sealed = b.offer(4, ins(3, 4)).expect("size before tick");
+        assert_eq!(sealed.meta.seal_reason, crate::result::SealReason::Size);
+    }
+
+    #[test]
+    fn replay_serial_sorts_by_seq() {
+        let events: Vec<(u64, StreamEvent)> = vec![
+            (3, StreamEvent::Update(ins(2, 3))),
+            (0, StreamEvent::Update(ins(0, 1))),
+            (1, StreamEvent::Update(ins(1, 2))),
+        ];
+        let batches = replay_serial(&events, SealPolicy::Size(2), |s| s.updates.clone());
+        assert_eq!(batches, vec![vec![ins(0, 1), ins(1, 2)], vec![ins(2, 3)]]);
+    }
+}

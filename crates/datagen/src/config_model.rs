@@ -111,13 +111,8 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        let cfg = ChungLuConfig {
-            vertices: 100,
-            edges: 300,
-            gamma: 2.5,
-            max_degree: None,
-            seed: 3,
-        };
+        let cfg =
+            ChungLuConfig { vertices: 100, edges: 300, gamma: 2.5, max_degree: None, seed: 3 };
         let a = generate_chung_lu(&cfg);
         let b = generate_chung_lu(&cfg);
         assert_eq!(a.edges().collect::<Vec<_>>(), b.edges().collect::<Vec<_>>());

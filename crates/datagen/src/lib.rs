@@ -28,4 +28,4 @@ pub mod stream;
 pub mod temporal;
 
 pub use presets::{all_presets, Dataset, Preset};
-pub use stream::{UpdateStream, StreamConfig};
+pub use stream::{StreamConfig, UpdateStream};

@@ -71,13 +71,27 @@ impl Preset {
     /// The paper's Table-I row for this dataset.
     pub fn paper_row(&self) -> PaperRow {
         match self {
-            Preset::Amazon => PaperRow { vertices: 0.4e6, edges: 2.4e6, max_degree: 1367, size_gb: 0.019 },
-            Preset::RoadNetPA => PaperRow { vertices: 1.08e6, edges: 1.5e6, max_degree: 9, size_gb: 0.022 },
-            Preset::RoadNetCA => PaperRow { vertices: 1.96e6, edges: 2.7e6, max_degree: 12, size_gb: 0.037 },
-            Preset::LiveJournal => PaperRow { vertices: 3.1e6, edges: 77.1e6, max_degree: 18311, size_gb: 0.308 },
-            Preset::Friendster => PaperRow { vertices: 65.6e6, edges: 3612e6, max_degree: 5214, size_gb: 28.9 },
-            Preset::Sf3k => PaperRow { vertices: 33.4e6, edges: 5824e6, max_degree: 4328, size_gb: 46.4 },
-            Preset::Sf10k => PaperRow { vertices: 100.2e6, edges: 18809e6, max_degree: 4485, size_gb: 151.1 },
+            Preset::Amazon => {
+                PaperRow { vertices: 0.4e6, edges: 2.4e6, max_degree: 1367, size_gb: 0.019 }
+            }
+            Preset::RoadNetPA => {
+                PaperRow { vertices: 1.08e6, edges: 1.5e6, max_degree: 9, size_gb: 0.022 }
+            }
+            Preset::RoadNetCA => {
+                PaperRow { vertices: 1.96e6, edges: 2.7e6, max_degree: 12, size_gb: 0.037 }
+            }
+            Preset::LiveJournal => {
+                PaperRow { vertices: 3.1e6, edges: 77.1e6, max_degree: 18311, size_gb: 0.308 }
+            }
+            Preset::Friendster => {
+                PaperRow { vertices: 65.6e6, edges: 3612e6, max_degree: 5214, size_gb: 28.9 }
+            }
+            Preset::Sf3k => {
+                PaperRow { vertices: 33.4e6, edges: 5824e6, max_degree: 4328, size_gb: 46.4 }
+            }
+            Preset::Sf10k => {
+                PaperRow { vertices: 100.2e6, edges: 18809e6, max_degree: 4485, size_gb: 151.1 }
+            }
         }
     }
 
@@ -87,13 +101,13 @@ impl Preset {
     /// fraction of the graph — the out-of-core regime the paper evaluates.
     fn base_shape(&self) -> (u32, usize) {
         match self {
-            Preset::Amazon => (16, 6),       // 65 k vertices
-            Preset::RoadNetPA => (17, 0),    // ~131 k road vertices
-            Preset::RoadNetCA => (18, 0),    // ~262 k road vertices
-            Preset::LiveJournal => (17, 6),  // 131 k vertices
-            Preset::Friendster => (19, 6),   // 524 k vertices, ~2 M edges
-            Preset::Sf3k => (19, 8),         // 524 k vertices, ~2.7 M edges
-            Preset::Sf10k => (20, 8),        // 1 M vertices, ~5.4 M edges
+            Preset::Amazon => (16, 6),      // 65 k vertices
+            Preset::RoadNetPA => (17, 0),   // ~131 k road vertices
+            Preset::RoadNetCA => (18, 0),   // ~262 k road vertices
+            Preset::LiveJournal => (17, 6), // 131 k vertices
+            Preset::Friendster => (19, 6),  // 524 k vertices, ~2 M edges
+            Preset::Sf3k => (19, 8),        // 524 k vertices, ~2.7 M edges
+            Preset::Sf10k => (20, 8),       // 1 M vertices, ~5.4 M edges
         }
     }
 

@@ -89,12 +89,7 @@ mod tests {
         let g = generate(&RmatConfig::new(12, 16, 2));
         let avg = 2.0 * g.num_edges() as f64 / g.num_vertices() as f64;
         // Heavy tail: max degree far above the average.
-        assert!(
-            g.max_degree() as f64 > 8.0 * avg,
-            "max {} vs avg {:.1}",
-            g.max_degree(),
-            avg
-        );
+        assert!(g.max_degree() as f64 > 8.0 * avg, "max {} vs avg {:.1}", g.max_degree(), avg);
     }
 
     #[test]

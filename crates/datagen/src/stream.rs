@@ -139,8 +139,7 @@ mod tests {
         }
         let final_graph = dg.to_csr();
         // Final graph = original minus delete-marked edges.
-        let deletes =
-            s.updates.iter().filter(|u| u.op == UpdateOp::Delete).count();
+        let deletes = s.updates.iter().filter(|u| u.op == UpdateOp::Delete).count();
         assert_eq!(final_graph.num_edges(), g.num_edges() - deletes);
     }
 

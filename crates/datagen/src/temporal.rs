@@ -43,8 +43,7 @@ pub fn temporal_stream(graph: &CsrGraph, cfg: &TemporalConfig) -> Vec<EdgeUpdate
     assert!(n >= 4, "graph too small");
     let mut rng = SmallRng::seed_from_u64(cfg.seed);
     // Live edge set mirror so generated updates are always applicable.
-    let mut live: std::collections::HashSet<(VertexId, VertexId)> =
-        graph.edges().collect();
+    let mut live: std::collections::HashSet<(VertexId, VertexId)> = graph.edges().collect();
     let mut focus: Vec<VertexId> =
         (0..cfg.region.min(n)).map(|_| rng.gen_range(0..n as u32)).collect();
 
@@ -86,10 +85,8 @@ pub fn temporal_stream(graph: &CsrGraph, cfg: &TemporalConfig) -> Vec<EdgeUpdate
 /// Jaccard overlap of the endpoint sets of consecutive windows — the
 /// temporal-locality metric the generator controls.
 pub fn window_overlap(stream: &[EdgeUpdate], window: usize) -> f64 {
-    let windows: Vec<std::collections::HashSet<VertexId>> = stream
-        .chunks(window)
-        .map(|c| c.iter().flat_map(|u| [u.src, u.dst]).collect())
-        .collect();
+    let windows: Vec<std::collections::HashSet<VertexId>> =
+        stream.chunks(window).map(|c| c.iter().flat_map(|u| [u.src, u.dst]).collect()).collect();
     if windows.len() < 2 {
         return 0.0;
     }

@@ -54,9 +54,11 @@ impl FreqEstimate {
     /// Smallest nonzero estimate (the `C_y` plugged into the Eq. (5)
     /// adaptivity check).
     pub fn min_nonzero(&self) -> Option<f64> {
-        self.freq.iter().copied().filter(|&f| f > 0.0).fold(None, |acc, f| {
-            Some(acc.map_or(f, |a: f64| a.min(f)))
-        })
+        self.freq
+            .iter()
+            .copied()
+            .filter(|&f| f > 0.0)
+            .fold(None, |acc, f| Some(acc.map_or(f, |a: f64| a.min(f))))
     }
 
     /// Merge another estimate (averaging handled by caller's weights).

@@ -11,7 +11,9 @@
 use crate::estimate::{FreqEstimate, WalkParams};
 use crate::naive::plan_seeds;
 use gcsm_graph::{EdgeUpdate, VertexId};
-use gcsm_matcher::{gen_candidates, seed_admissible, CostCounter, IntersectAlgo, MatchStats, NeighborSource};
+use gcsm_matcher::{
+    gen_candidates, seed_admissible, CostCounter, IntersectAlgo, MatchStats, NeighborSource,
+};
 use gcsm_pattern::MatchPlan;
 use rand::{rngs::SmallRng, SeedableRng};
 use rand_distr::{Binomial, Distribution};
@@ -208,12 +210,8 @@ mod tests {
             g.max_degree_bound(),
             &WalkParams { walks: 20_000, seed: 3 },
         );
-        let mut truth_ranked: Vec<(u32, u64)> = truth
-            .iter()
-            .enumerate()
-            .filter(|(_, &c)| c > 0)
-            .map(|(i, &c)| (i as u32, c))
-            .collect();
+        let mut truth_ranked: Vec<(u32, u64)> =
+            truth.iter().enumerate().filter(|(_, &c)| c > 0).map(|(i, &c)| (i as u32, c)).collect();
         truth_ranked.sort_by(|a, b| b.1.cmp(&a.1));
         let est_top: Vec<u32> = est.ranked().iter().take(3).map(|r| r.0).collect();
         // The single hottest oracle vertex must be within the estimator's
@@ -235,12 +233,7 @@ mod tests {
         let p = WalkParams { walks: 20_000, seed: 9 };
         let en = estimate_naive(&src, &plans, &batch, g.max_degree_bound(), &p);
         let em = estimate_merged(&src, &plans, &batch, g.max_degree_bound(), &p);
-        assert!(
-            em.walk_ops * 4 < en.walk_ops,
-            "merged {} vs naive {}",
-            em.walk_ops,
-            en.walk_ops
-        );
+        assert!(em.walk_ops * 4 < en.walk_ops, "merged {} vs naive {}", em.walk_ops, en.walk_ops);
     }
 
     #[test]

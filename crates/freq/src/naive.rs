@@ -5,7 +5,9 @@
 
 use crate::estimate::{FreqEstimate, WalkParams};
 use gcsm_graph::{EdgeUpdate, VertexId};
-use gcsm_matcher::{gen_candidates, seed_admissible, CostCounter, IntersectAlgo, MatchStats, NeighborSource};
+use gcsm_matcher::{
+    gen_candidates, seed_admissible, CostCounter, IntersectAlgo, MatchStats, NeighborSource,
+};
 use gcsm_pattern::MatchPlan;
 use rand::{rngs::SmallRng, Rng, SeedableRng};
 
@@ -58,7 +60,16 @@ pub fn estimate_naive<S: NeighborSource>(
                 for c in &plan.levels[level].constraints {
                     est.freq[bound[c.pos] as usize] += weight / params.walks as f64;
                 }
-                gen_candidates(src, plan, level, &bound, IntersectAlgo::Auto, &mut cands, &mut cost, &mut stats);
+                gen_candidates(
+                    src,
+                    plan,
+                    level,
+                    &bound,
+                    IntersectAlgo::Auto,
+                    &mut cands,
+                    &mut cost,
+                    &mut stats,
+                );
                 if cands.is_empty() {
                     break;
                 }

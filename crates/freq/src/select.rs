@@ -67,10 +67,7 @@ impl CacheSelection {
         if oracle_top.is_empty() {
             return 1.0;
         }
-        let hits = oracle_top
-            .iter()
-            .filter(|v| self.vertices.binary_search(v).is_ok())
-            .count();
+        let hits = oracle_top.iter().filter(|v| self.vertices.binary_search(v).is_ok()).count();
         hits as f64 / oracle_top.len() as f64
     }
 

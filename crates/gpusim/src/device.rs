@@ -98,8 +98,7 @@ impl Device {
             }
             AccessPath::ZeroCopy => {
                 self.traffic.add_zerocopy_bytes(bytes as u64);
-                self.traffic
-                    .add_zerocopy_transactions(self.config.zerocopy_transactions(bytes));
+                self.traffic.add_zerocopy_transactions(self.config.zerocopy_transactions(bytes));
                 self.trace.record(TraceEvent::ZeroCopy { bytes });
             }
             AccessPath::UnifiedMemory => {
@@ -112,8 +111,7 @@ impl Device {
                 let faults = self.um_cache.access_range(first, last);
                 self.traffic.add_um_faults(faults);
                 self.traffic.add_um_hits(last - first + 1 - faults);
-                self.trace
-                    .record(TraceEvent::Unified { faults, hits: last - first + 1 - faults });
+                self.trace.record(TraceEvent::Unified { faults, hits: last - first + 1 - faults });
             }
             AccessPath::HostCpu => {}
         }

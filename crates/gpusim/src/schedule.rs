@@ -41,8 +41,7 @@ pub fn makespan(task_costs: &[u64], blocks: usize, policy: Scheduling) -> u64 {
             // List scheduling via a min-heap of block finish times.
             use std::cmp::Reverse;
             use std::collections::BinaryHeap;
-            let mut heap: BinaryHeap<Reverse<u64>> =
-                (0..blocks).map(|_| Reverse(0u64)).collect();
+            let mut heap: BinaryHeap<Reverse<u64>> = (0..blocks).map(|_| Reverse(0u64)).collect();
             for &c in task_costs {
                 let Reverse(t) = heap.pop().expect("blocks > 0");
                 heap.push(Reverse(t + c));

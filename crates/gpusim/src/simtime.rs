@@ -114,7 +114,8 @@ mod tests {
     fn um_dominates_zero_copy_for_fine_access() {
         // One 4-byte access via each path: UM pays a whole page fault.
         let c = cfg();
-        let zc = TrafficSnapshot { zerocopy_bytes: 4, zerocopy_transactions: 1, ..Default::default() };
+        let zc =
+            TrafficSnapshot { zerocopy_bytes: 4, zerocopy_transactions: 1, ..Default::default() };
         let um = TrafficSnapshot { um_faults: 1, ..Default::default() };
         let t_zc = SimBreakdown::from_traffic(&zc, &c).total();
         let t_um = SimBreakdown::from_traffic(&um, &c).total();
@@ -143,11 +144,8 @@ mod tests {
         // 128 bytes: DMA pays the setup; zero-copy just the line.
         let c = cfg();
         let dma = TrafficSnapshot { dma_bytes: 128, dma_transactions: 1, ..Default::default() };
-        let zc = TrafficSnapshot {
-            zerocopy_bytes: 128,
-            zerocopy_transactions: 1,
-            ..Default::default()
-        };
+        let zc =
+            TrafficSnapshot { zerocopy_bytes: 128, zerocopy_transactions: 1, ..Default::default() };
         assert!(
             SimBreakdown::from_traffic(&zc, &c).total()
                 < SimBreakdown::from_traffic(&dma, &c).total()

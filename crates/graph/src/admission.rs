@@ -1,0 +1,224 @@
+//! Batch admission: sequencing and conflict coalescing for streamed updates.
+//!
+//! The streaming front-end (in `gcsm::stream`) admits updates into an open
+//! *window* before sealing it into a batch for the matching pipeline. Within
+//! a window, updates touching the same undirected edge are **coalesced**:
+//!
+//! * a duplicate of the surviving op for that edge is dropped
+//!   (`+e, +e → +e`);
+//! * an op opposite to the surviving op *cancels* it — both disappear
+//!   (`+e, -e → ∅`, and `-e, +e → ∅`);
+//! * self-loops are rejected outright (the dynamic store would skip them
+//!   at apply time anyway; rejecting at admission keeps them out of the
+//!   size-based seal accounting).
+//!
+//! Cancellation treats the window as a net state transition — an edge
+//! inserted and deleted inside one window was never visible at batch
+//! granularity. This is exact for *well-formed* streams (inserts of absent
+//! edges, deletes of present edges, the protocol `gcsm-datagen` generates
+//! and `DynamicGraph::apply` otherwise skips); see DESIGN.md § Streaming.
+//!
+//! Everything here is keyed by the caller-supplied total order `seq`, never
+//! by arrival time, so a window's survivors — and therefore batch contents
+//! and boundaries — are a pure function of the sequenced update stream.
+
+use crate::types::{EdgeUpdate, UpdateOp, VertexId};
+use std::collections::HashMap;
+
+/// What happened to one update at admission.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Admission {
+    /// The update survives in the window (for now).
+    Admitted,
+    /// Same op already pending for this edge; this update was dropped.
+    Duplicate,
+    /// Opposite op was pending; both it and this update were removed.
+    CancelledPair,
+    /// `src == dst`; rejected.
+    SelfLoop,
+}
+
+/// Counters accumulated over one window.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AdmissionStats {
+    /// Updates offered to the window (everything except self-loops).
+    pub offered: usize,
+    /// Duplicates dropped (`+e, +e` or `-e, -e`).
+    pub duplicates: usize,
+    /// Insert/delete pairs that annihilated (counts *pairs*, not updates).
+    pub cancelled_pairs: usize,
+    /// Self-loops rejected.
+    pub self_loops: usize,
+}
+
+impl AdmissionStats {
+    fn absorb(&mut self, other: AdmissionStats) {
+        self.offered += other.offered;
+        self.duplicates += other.duplicates;
+        self.cancelled_pairs += other.cancelled_pairs;
+        self.self_loops += other.self_loops;
+    }
+}
+
+/// One window's coalescing state: at most one surviving op per canonical
+/// edge (the duplicate/cancel rules guarantee the per-edge "stack" never
+/// exceeds depth one).
+#[derive(Debug, Default)]
+pub struct CoalesceWindow {
+    /// canonical edge → (seq of the surviving op, the op).
+    slots: HashMap<(VertexId, VertexId), (u64, UpdateOp)>,
+    stats: AdmissionStats,
+}
+
+impl CoalesceWindow {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Admit one sequenced update. `seq` values must be distinct; relative
+    /// order of `admit` calls must follow `seq` order (the stream layer's
+    /// sequencer guarantees this).
+    pub fn admit(&mut self, seq: u64, update: EdgeUpdate) -> Admission {
+        if update.src == update.dst {
+            self.stats.self_loops += 1;
+            return Admission::SelfLoop;
+        }
+        self.stats.offered += 1;
+        let key = update.canonical();
+        match self.slots.get(&key) {
+            None => {
+                self.slots.insert(key, (seq, update.op));
+                Admission::Admitted
+            }
+            Some(&(_, pending)) if pending == update.op => {
+                self.stats.duplicates += 1;
+                Admission::Duplicate
+            }
+            Some(_) => {
+                self.slots.remove(&key);
+                self.stats.cancelled_pairs += 1;
+                Admission::CancelledPair
+            }
+        }
+    }
+
+    /// Number of surviving updates currently in the window (what size-based
+    /// seal policies count).
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Seal the window: survivors in `seq` order, plus this window's
+    /// admission counters. The window resets for reuse.
+    pub fn drain(&mut self) -> (Vec<EdgeUpdate>, AdmissionStats) {
+        let mut survivors: Vec<(u64, EdgeUpdate)> = self
+            .slots
+            .drain()
+            .map(|((a, b), (seq, op))| (seq, EdgeUpdate { src: a, dst: b, op }))
+            .collect();
+        survivors.sort_unstable_by_key(|&(seq, _)| seq);
+        let stats = std::mem::take(&mut self.stats);
+        (survivors.into_iter().map(|(_, u)| u).collect(), stats)
+    }
+}
+
+/// Coalesce a pre-sequenced slice in one call (the serial-reference path and
+/// tests use this; the stream worker admits incrementally).
+pub fn coalesce(updates: &[(u64, EdgeUpdate)]) -> (Vec<EdgeUpdate>, AdmissionStats) {
+    let mut sorted: Vec<(u64, EdgeUpdate)> = updates.to_vec();
+    sorted.sort_unstable_by_key(|&(seq, _)| seq);
+    let mut window = CoalesceWindow::new();
+    let mut stats = AdmissionStats::default();
+    for (seq, u) in sorted {
+        window.admit(seq, u);
+    }
+    let (survivors, s) = window.drain();
+    stats.absorb(s);
+    (survivors, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ins(s: u32, d: u32) -> EdgeUpdate {
+        EdgeUpdate::insert(s, d)
+    }
+    fn del(s: u32, d: u32) -> EdgeUpdate {
+        EdgeUpdate::delete(s, d)
+    }
+
+    #[test]
+    fn duplicates_collapse_to_first() {
+        let mut w = CoalesceWindow::new();
+        assert_eq!(w.admit(0, ins(1, 2)), Admission::Admitted);
+        assert_eq!(w.admit(1, ins(2, 1)), Admission::Duplicate); // canonical
+        assert_eq!(w.admit(2, ins(1, 2)), Admission::Duplicate);
+        let (survivors, stats) = w.drain();
+        assert_eq!(survivors, vec![ins(1, 2)]);
+        assert_eq!(stats.duplicates, 2);
+        assert_eq!(stats.offered, 3);
+    }
+
+    #[test]
+    fn opposite_ops_cancel() {
+        let mut w = CoalesceWindow::new();
+        w.admit(0, ins(1, 2));
+        assert_eq!(w.admit(1, del(1, 2)), Admission::CancelledPair);
+        assert!(w.is_empty());
+        // ... and the edge can come back afterwards.
+        assert_eq!(w.admit(2, ins(1, 2)), Admission::Admitted);
+        let (survivors, stats) = w.drain();
+        assert_eq!(survivors, vec![ins(1, 2)]);
+        assert_eq!(stats.cancelled_pairs, 1);
+    }
+
+    #[test]
+    fn delete_then_insert_also_cancels() {
+        let mut w = CoalesceWindow::new();
+        w.admit(0, del(3, 4));
+        assert_eq!(w.admit(1, ins(4, 3)), Admission::CancelledPair);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn self_loops_rejected() {
+        let mut w = CoalesceWindow::new();
+        assert_eq!(w.admit(0, ins(5, 5)), Admission::SelfLoop);
+        let (survivors, stats) = w.drain();
+        assert!(survivors.is_empty());
+        assert_eq!(stats.self_loops, 1);
+        assert_eq!(stats.offered, 0);
+    }
+
+    #[test]
+    fn survivors_emerge_in_seq_order() {
+        let input = [(5, ins(0, 1)), (1, ins(2, 3)), (3, del(4, 5))];
+        let (survivors, _) = coalesce(&input);
+        assert_eq!(survivors, vec![ins(2, 3), del(4, 5), ins(0, 1)]);
+    }
+
+    #[test]
+    fn coalesce_is_order_insensitive_in_input_layout() {
+        // Same (seq, update) set in two different slice orders → identical
+        // output: coalescing is a function of the sequenced set.
+        let a = [(0, ins(1, 2)), (1, del(1, 2)), (2, ins(6, 7)), (3, ins(6, 7))];
+        let mut b = a;
+        b.reverse();
+        assert_eq!(coalesce(&a), coalesce(&b));
+    }
+
+    #[test]
+    fn alternating_chain_reduces_to_parity() {
+        // +e −e +e −e +e → single surviving insert (at the last seq).
+        let seq: Vec<(u64, EdgeUpdate)> =
+            (0..5u64).map(|i| (i, if i % 2 == 0 { ins(1, 2) } else { del(1, 2) })).collect();
+        let (survivors, stats) = coalesce(&seq);
+        assert_eq!(survivors, vec![ins(1, 2)]);
+        assert_eq!(stats.cancelled_pairs, 2);
+    }
+}

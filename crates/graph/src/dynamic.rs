@@ -537,10 +537,7 @@ impl DynamicGraph {
     /// (contrast with [`GraphStats::adjacency_bytes`], which counts used
     /// entries only).
     pub fn allocated_bytes(&self) -> usize {
-        self.lists
-            .iter()
-            .map(|l| l.data.capacity() * std::mem::size_of::<u32>())
-            .sum::<usize>()
+        self.lists.iter().map(|l| l.data.capacity() * std::mem::size_of::<u32>()).sum::<usize>()
             + self.lists.capacity() * std::mem::size_of::<AdjList>()
             + self.labels.capacity() * std::mem::size_of::<Label>()
     }
@@ -569,10 +566,7 @@ mod tests {
     /// Fig. 1's G_0: kite on 4 vertices; the update batch of the figure adds
     /// (v4, v6)… we use small synthetic variants instead.
     fn seed() -> DynamicGraph {
-        DynamicGraph::from_csr(&CsrGraph::from_edges(
-            5,
-            &[(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)],
-        ))
+        DynamicGraph::from_csr(&CsrGraph::from_edges(5, &[(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)]))
     }
 
     #[test]

@@ -42,6 +42,7 @@
 //! assert_eq!(g.old_view(2).to_vec(), vec![1, 3]);
 //! ```
 
+pub mod admission;
 pub mod analytics;
 pub mod csr;
 pub mod dynamic;
@@ -50,6 +51,7 @@ pub mod stats;
 pub mod types;
 pub mod view;
 
+pub use admission::{coalesce, Admission, AdmissionStats, CoalesceWindow};
 pub use csr::{CsrBuilder, CsrGraph};
 pub use dynamic::{BatchSummary, DynamicGraph};
 pub use stats::GraphStats;

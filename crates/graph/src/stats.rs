@@ -30,7 +30,10 @@ impl std::fmt::Display for GraphStats {
         write!(
             f,
             "|V|={} |E|={} maxdeg={} size={:.4}GB",
-            self.num_vertices, self.num_edges, self.max_degree, self.size_gb()
+            self.num_vertices,
+            self.num_edges,
+            self.max_degree,
+            self.size_gb()
         )
     }
 }

@@ -107,21 +107,13 @@ impl<'a> NeighborView<'a> {
     /// Membership test across both runs.
     #[inline]
     pub fn contains(&self, v: VertexId) -> bool {
-        self.prefix.contains(v)
-            || self
-                .tail_run()
-                .is_some_and(|r| r.contains(v))
+        self.prefix.contains(v) || self.tail_run().is_some_and(|r| r.contains(v))
     }
 
     /// Decoded neighbors in globally sorted order (merges the two runs).
     /// Intended for tests and cold paths; hot paths intersect run-by-run.
     pub fn iter_sorted(&self) -> MergedIter<'a> {
-        MergedIter {
-            prefix: self.prefix,
-            pi: 0,
-            tail: self.tail.unwrap_or(&[]),
-            ti: 0,
-        }
+        MergedIter { prefix: self.prefix, pi: 0, tail: self.tail.unwrap_or(&[]), ti: 0 }
     }
 
     /// Collect decoded neighbors into a vector (sorted).

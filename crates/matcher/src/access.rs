@@ -87,7 +87,10 @@ impl AccessCounter {
     /// Byte-weighted ranking: vertices ordered by the *traffic* they
     /// generate (`accesses × list bytes`) — the quantity Fig. 15a reports
     /// ("% of the memory access") and the quantity a cache actually saves.
-    pub fn ranked_weighted(&self, mut bytes_of: impl FnMut(VertexId) -> u64) -> Vec<(VertexId, u64)> {
+    pub fn ranked_weighted(
+        &self,
+        mut bytes_of: impl FnMut(VertexId) -> u64,
+    ) -> Vec<(VertexId, u64)> {
         let mut v: Vec<(VertexId, u64)> = self
             .counts
             .iter()

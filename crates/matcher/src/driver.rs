@@ -230,10 +230,7 @@ mod tests {
         let batch = random_batch(&g0, 6, seed ^ 0xdead);
         let summary = dg.apply_batch(&batch);
 
-        let opts = DriverOptions {
-            plan: PlanOptions { symmetry_break: sb },
-            ..Default::default()
-        };
+        let opts = DriverOptions { plan: PlanOptions { symmetry_break: sb }, ..Default::default() };
         let before = {
             let src = CsrSource::new(&g0);
             match_static(&src, q, &g0.edges().collect::<Vec<_>>(), &opts).matches

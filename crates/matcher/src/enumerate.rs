@@ -59,7 +59,18 @@ where
     scratch.bound.push(x0);
     scratch.bound.push(x1);
     let mut cost = CostCounter::default();
-    descend(src, plan, 0, sign, algo, &mut scratch.bound, &mut scratch.bufs, &mut cost, &mut stats, emit);
+    descend(
+        src,
+        plan,
+        0,
+        sign,
+        algo,
+        &mut scratch.bound,
+        &mut scratch.bufs,
+        &mut cost,
+        &mut stats,
+        emit,
+    );
     stats.intersect_ops += cost.ops;
     stats
 }
@@ -140,11 +151,7 @@ pub fn gen_candidates<S: NeighborSource>(
 
     // Access every constraint's view once per tree node (the paper's
     // execution-tree access model), pick the smallest as the base set.
-    let views: Vec<_> = lvl
-        .constraints
-        .iter()
-        .map(|c| src.view(bound[c.pos], c.view))
-        .collect();
+    let views: Vec<_> = lvl.constraints.iter().map(|c| src.view(bound[c.pos], c.view)).collect();
     stats.list_accesses += views.len() as u64;
 
     let base = (0..views.len()).min_by_key(|&i| views[i].raw_len()).expect("no constraints");

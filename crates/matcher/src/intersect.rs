@@ -319,8 +319,7 @@ mod tests {
                 .collect();
             let tail: Vec<u32> = data[split..].to_vec();
             let view = NeighborView::new_view(&prefix, &tail);
-            let expect: Vec<u32> =
-                cands.iter().copied().filter(|&c| view.contains(c)).collect();
+            let expect: Vec<u32> = cands.iter().copied().filter(|&c| view.contains(c)).collect();
             for r in run_all_algos(&cands, &view) {
                 assert_eq!(r, expect);
             }

@@ -42,8 +42,8 @@ pub mod enumerate;
 pub mod intersect;
 pub mod limit;
 pub mod source;
-pub mod stats;
 pub mod stack;
+pub mod stats;
 
 pub use access::AccessCounter;
 pub use driver::{

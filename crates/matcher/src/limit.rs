@@ -35,11 +35,8 @@ pub fn match_incremental_limited<S: NeighborSource>(
     algo: IntersectAlgo,
     limit: usize,
 ) -> LimitedResult {
-    let mut out = LimitedResult {
-        stats: MatchStats::default(),
-        matches: Vec::new(),
-        truncated: false,
-    };
+    let mut out =
+        LimitedResult { stats: MatchStats::default(), matches: Vec::new(), truncated: false };
     if limit == 0 {
         out.truncated = true;
         return out;

@@ -31,6 +31,9 @@ pub struct EdgeCover {
 /// Solved exactly with a dense simplex on the standard-form dual-free
 /// formulation (surplus variables + big-M). Pattern sizes make this a
 /// ≤ 20-variable LP.
+// Index loops iterate tableau *columns* while rows alias (`t[v]` vs `t[n]`);
+// iterator rewrites would need split borrows for no clarity gain.
+#[allow(clippy::needless_range_loop)]
 pub fn min_fractional_edge_cover(q: &QueryGraph, cost: &[f64]) -> EdgeCover {
     let m = q.num_edges();
     let n = q.num_vertices();
@@ -135,9 +138,8 @@ pub fn agm_bound(q: &QueryGraph, relation_sizes: &[f64]) -> f64 {
 /// relation `i` is restricted to the batch (`|ΔR_i| = delta_size`) and
 /// every other relation has `full_size` tuples.
 pub fn delta_bound(q: &QueryGraph, i: usize, delta_size: f64, full_size: f64) -> f64 {
-    let sizes: Vec<f64> = (0..q.num_edges())
-        .map(|j| if j == i { delta_size } else { full_size })
-        .collect();
+    let sizes: Vec<f64> =
+        (0..q.num_edges()).map(|j| if j == i { delta_size } else { full_size }).collect();
     agm_bound(q, &sizes)
 }
 

@@ -114,11 +114,7 @@ mod tests {
     fn asymmetric_pattern_needs_no_conditions() {
         // Triangle with a 1-tail on one corner and a 2-tail on another:
         // no non-trivial automorphism survives the degree profile.
-        let q = QueryGraph::new(
-            "asym",
-            6,
-            &[(0, 1), (0, 2), (1, 2), (0, 3), (1, 4), (4, 5)],
-        );
+        let q = QueryGraph::new("asym", 6, &[(0, 1), (0, 2), (1, 2), (0, 3), (1, 4), (4, 5)]);
         assert_eq!(automorphism_count(&q), 1);
         assert!(symmetry_break_conditions(&q).is_empty());
     }

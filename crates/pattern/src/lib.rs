@@ -44,9 +44,8 @@ pub use automorphism::{automorphisms, symmetry_break_conditions};
 pub use explain::explain_plan;
 pub use motifs::connected_motifs;
 pub use plan::{
-    compile_incremental_scored,
-    compile_incremental, compile_incremental_one, compile_static, Constraint, LevelPlan,
-    MatchPlan, PlanOptions, ViewSel,
+    compile_incremental, compile_incremental_one, compile_incremental_scored, compile_static,
+    Constraint, LevelPlan, MatchPlan, PlanOptions, ViewSel,
 };
 pub use query::QueryGraph;
 pub use validate::validate_plan;

@@ -13,8 +13,7 @@ use std::collections::HashSet;
 /// (2 ≤ k ≤ 6), named `m<k>_<index>` in generation order.
 pub fn connected_motifs(k: usize) -> Vec<QueryGraph> {
     assert!((2..=6).contains(&k), "motif size {k} unsupported");
-    let pairs: Vec<(usize, usize)> =
-        (0..k).flat_map(|a| (a + 1..k).map(move |b| (a, b))).collect();
+    let pairs: Vec<(usize, usize)> = (0..k).flat_map(|a| (a + 1..k).map(move |b| (a, b))).collect();
     let m = pairs.len();
     let mut seen: HashSet<Vec<u64>> = HashSet::new();
     let mut out = Vec::new();
@@ -22,10 +21,8 @@ pub fn connected_motifs(k: usize) -> Vec<QueryGraph> {
         if (mask.count_ones() as usize) < k - 1 {
             continue; // cannot be connected
         }
-        let edges: Vec<(usize, usize)> = (0..m)
-            .filter(|&i| mask & (1 << i) != 0)
-            .map(|i| pairs[i])
-            .collect();
+        let edges: Vec<(usize, usize)> =
+            (0..m).filter(|&i| mask & (1 << i) != 0).map(|i| pairs[i]).collect();
         if !covers_all_vertices(k, &edges) || !is_connected(k, &edges) {
             continue;
         }

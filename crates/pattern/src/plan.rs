@@ -154,8 +154,7 @@ fn compile_with_seed(
     in_order[sa] = true;
     in_order[sb] = true;
     while order.len() < n {
-        let connectable =
-            (0..n).filter(|&v| !in_order[v] && q.neighbors(v).any(|u| in_order[u]));
+        let connectable = (0..n).filter(|&v| !in_order[v] && q.neighbors(v).any(|u| in_order[u]));
         let next = match scores {
             // Cardinality-driven order (RapidFlow style): keep the
             // backward-edge count as the primary key — giving up

@@ -30,11 +30,7 @@ pub fn q3() -> QueryGraph {
 /// Q4 — size 6: two triangles sharing a vertex plus a connecting edge
 /// ("bowtie with a bar"), 8 edges.
 pub fn q4() -> QueryGraph {
-    QueryGraph::new(
-        "Q4",
-        6,
-        &[(0, 1), (0, 2), (1, 2), (2, 3), (2, 4), (3, 4), (3, 5), (4, 5)],
-    )
+    QueryGraph::new("Q4", 6, &[(0, 1), (0, 2), (1, 2), (2, 3), (2, 4), (3, 4), (3, 5), (4, 5)])
 }
 
 /// Q5 — size 7: a 5-clique core with a 2-path tail, 12 edges.
@@ -64,19 +60,7 @@ pub fn q6() -> QueryGraph {
     QueryGraph::new(
         "Q6",
         7,
-        &[
-            (0, 1),
-            (0, 2),
-            (1, 2),
-            (1, 3),
-            (2, 3),
-            (2, 4),
-            (3, 4),
-            (3, 5),
-            (4, 5),
-            (4, 6),
-            (5, 6),
-        ],
+        &[(0, 1), (0, 2), (1, 2), (1, 3), (2, 3), (2, 4), (3, 4), (3, 5), (4, 5), (4, 6), (5, 6)],
     )
 }
 

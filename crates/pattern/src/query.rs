@@ -32,12 +32,7 @@ impl QueryGraph {
     }
 
     /// Build a labeled pattern.
-    pub fn with_labels(
-        name: &str,
-        n: usize,
-        edges: &[(usize, usize)],
-        labels: Vec<Label>,
-    ) -> Self {
+    pub fn with_labels(name: &str, n: usize, edges: &[(usize, usize)], labels: Vec<Label>) -> Self {
         assert!((2..=MAX_PATTERN).contains(&n), "pattern size {n} out of range");
         assert_eq!(labels.len(), n);
         let mut canon: Vec<(usize, usize)> = edges

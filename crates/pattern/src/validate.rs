@@ -47,7 +47,11 @@ pub fn validate_plan(q: &QueryGraph, plan: &MatchPlan) -> Vec<String> {
     for (li, lvl) in plan.levels.iter().enumerate() {
         let level_pos = li + 2;
         if plan.order.get(level_pos) != Some(&lvl.qvertex) {
-            errs.push(format!("level {li} binds {} but order says {:?}", lvl.qvertex, plan.order.get(level_pos)));
+            errs.push(format!(
+                "level {li} binds {} but order says {:?}",
+                lvl.qvertex,
+                plan.order.get(level_pos)
+            ));
         }
         if lvl.constraints.is_empty() {
             errs.push(format!("level {li} has no constraints (disconnected order)"));
@@ -143,9 +147,6 @@ mod tests {
         let mut p = compile_static(&q, PlanOptions::default());
         let removed = p.levels[0].constraints.pop().unwrap();
         let errs = validate_plan(&q, &p);
-        assert!(
-            errs.iter().any(|e| e.contains(&format!("edge {}", removed.edge))),
-            "{errs:?}"
-        );
+        assert!(errs.iter().any(|e| e.contains(&format!("edge {}", removed.edge))), "{errs:?}");
     }
 }

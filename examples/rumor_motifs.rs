@@ -46,7 +46,9 @@ fn main() {
     // Reference: independent CPU pipelines per motif.
     let mut refs: Vec<(Pipeline, CpuWcojEngine)> = motifs
         .iter()
-        .map(|m| (Pipeline::new(stream.initial.clone(), m.clone()), CpuWcojEngine::new(cfg.clone())))
+        .map(|m| {
+            (Pipeline::new(stream.initial.clone(), m.clone()), CpuWcojEngine::new(cfg.clone()))
+        })
         .collect();
 
     let mut header = String::from("batch");

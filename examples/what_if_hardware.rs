@@ -53,8 +53,5 @@ fn main() {
         "\nas the link gets faster, avoided traffic is worth less: {:.2}x → {:.2}x → {:.2}x",
         speedups[0], speedups[1], speedups[2]
     );
-    assert!(
-        speedups[0] > speedups[2],
-        "GCSM's advantage must shrink on faster interconnects"
-    );
+    assert!(speedups[0] > speedups[2], "GCSM's advantage must shrink on faster interconnects");
 }

@@ -1,0 +1,85 @@
+//! Cross-engine differential suite: stream the same randomized batch
+//! sequence through every engine and assert the per-batch ΔM sequences
+//! are identical. The engines differ wildly in *how* they read the graph
+//! (cached DCSR, zero-copy, unified memory, k-hop copies, CPU WCOJ,
+//! candidate indexes, full recomputation) — the counts they produce must
+//! not.
+
+use gcsm::stream::SealPolicy;
+use gcsm_bench::{run_stream_cell, EngineKind, RunConfig, Workload};
+use gcsm_datagen::Preset;
+use gcsm_pattern::{queries, QueryGraph};
+
+const ENGINES: [EngineKind; 8] = [
+    EngineKind::Gcsm,
+    EngineKind::ZeroCopy,
+    EngineKind::UnifiedMem,
+    EngineKind::Vsgm,
+    EngineKind::NaiveDegree,
+    EngineKind::Cpu,
+    EngineKind::RapidFlow,
+    EngineKind::Recompute,
+];
+
+fn differential(q: &QueryGraph, symmetry_break: bool) {
+    let rc = RunConfig { scale: 0.0625, symmetry_break, ..Default::default() };
+    let w = Workload::build(Preset::Amazon, rc.scale, 96, 3);
+    let mut reference: Option<(String, Vec<i64>, Vec<i64>)> = None;
+    for kind in ENGINES {
+        let c = run_stream_cell(kind, &w, q, &rc, 3, SealPolicy::Size(64));
+        assert!(
+            c.matches_serial,
+            "{} diverged from its serial replay on {}",
+            kind.name(),
+            q.name()
+        );
+        assert_eq!(
+            c.final_total,
+            c.static_total,
+            "{} ledger drifted from recount on {}",
+            kind.name(),
+            q.name()
+        );
+        let deltas: Vec<i64> = c.batches.iter().map(|b| b.result.matches).collect();
+        let totals: Vec<i64> = c.batches.iter().map(|b| b.running_total).collect();
+        match &reference {
+            None => reference = Some((kind.name().to_string(), deltas, totals)),
+            Some((ref_name, ref_deltas, ref_totals)) => {
+                assert_eq!(
+                    &deltas,
+                    ref_deltas,
+                    "per-batch ΔM: {} vs {} on {}",
+                    kind.name(),
+                    ref_name,
+                    q.name()
+                );
+                assert_eq!(&totals, ref_totals, "running totals diverged on {}", q.name());
+            }
+        }
+    }
+    let (_, deltas, _) = reference.unwrap();
+    assert!(deltas.len() > 1, "need multiple batches to be a differential test");
+    assert!(deltas.iter().any(|&d| d != 0), "stream never changed the count for {}", q.name());
+}
+
+#[test]
+fn all_engines_agree_on_triangle() {
+    differential(&queries::triangle(), false);
+}
+
+#[test]
+fn all_engines_agree_on_q1() {
+    differential(&queries::q1(), false);
+}
+
+#[test]
+fn all_engines_agree_on_q2() {
+    differential(&queries::q2(), false);
+}
+
+/// Same grid under symmetry breaking (unique-subgraph counting), the mode
+/// motif counts use.
+#[test]
+fn all_engines_agree_on_unique_triangles() {
+    differential(&queries::triangle(), true);
+}

@@ -50,8 +50,7 @@ fn all_noop_batch() {
 #[test]
 fn full_teardown() {
     let g0 = CsrGraph::from_edges(3, &[(0, 1), (1, 2), (0, 2)]);
-    let batch =
-        vec![EdgeUpdate::delete(0, 1), EdgeUpdate::delete(1, 2), EdgeUpdate::delete(0, 2)];
+    let batch = vec![EdgeUpdate::delete(0, 1), EdgeUpdate::delete(1, 2), EdgeUpdate::delete(0, 2)];
     for mut e in engines(&EngineConfig::default()) {
         let mut p = Pipeline::new(g0.clone(), queries::triangle());
         let r = p.process_batch(e.as_mut(), &batch);
@@ -78,11 +77,7 @@ fn build_from_empty_graph() {
 #[test]
 fn growing_vertex_set() {
     let g0 = CsrGraph::from_edges(3, &[(0, 1), (1, 2), (0, 2)]);
-    let batch = vec![
-        EdgeUpdate::insert(2, 7),
-        EdgeUpdate::insert(1, 7),
-        EdgeUpdate::insert(7, 9),
-    ];
+    let batch = vec![EdgeUpdate::insert(2, 7), EdgeUpdate::insert(1, 7), EdgeUpdate::insert(7, 9)];
     for mut e in engines(&EngineConfig::default()) {
         let mut p = Pipeline::new(g0.clone(), queries::triangle());
         let r = p.process_batch(e.as_mut(), &batch);

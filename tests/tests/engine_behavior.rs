@@ -19,7 +19,11 @@ fn cfg(initial: &CsrGraph) -> EngineConfig {
     EngineConfig::with_cache_budget(initial.adjacency_bytes() / 8)
 }
 
-fn run<E: Engine>(mut engine: E, initial: &CsrGraph, batches: &[Vec<EdgeUpdate>]) -> Vec<BatchResult> {
+fn run<E: Engine>(
+    mut engine: E,
+    initial: &CsrGraph,
+    batches: &[Vec<EdgeUpdate>],
+) -> Vec<BatchResult> {
     let mut p = Pipeline::new(initial.clone(), queries::q2());
     batches.iter().map(|b| p.process_batch(&mut engine, b)).collect()
 }
@@ -32,10 +36,8 @@ fn um_is_far_slower_than_zp() {
     let c = cfg(&initial);
     let zp = run(ZeroCopyEngine::new(c.clone()), &initial, &batches);
     let um = run(UnifiedMemEngine::new(c.clone()), &initial, &batches);
-    let (zp_ms, um_ms): (f64, f64) = (
-        zp.iter().map(BatchResult::total_ms).sum(),
-        um.iter().map(BatchResult::total_ms).sum(),
-    );
+    let (zp_ms, um_ms): (f64, f64) =
+        (zp.iter().map(BatchResult::total_ms).sum(), um.iter().map(BatchResult::total_ms).sum());
     assert_eq!(
         zp.iter().map(|r| r.matches).sum::<i64>(),
         um.iter().map(|r| r.matches).sum::<i64>()
@@ -72,12 +74,7 @@ fn vsgm_copies_more_but_never_misses() {
     }
     let vs_copied: f64 = vs.iter().map(|r| r.cached_bytes as f64).sum();
     let gc_copied: f64 = gc.iter().map(|r| r.cached_bytes as f64).sum();
-    assert!(
-        vs_copied > 1.5 * gc_copied,
-        "VSGM ships {} vs GCSM {}",
-        vs_copied,
-        gc_copied
-    );
+    assert!(vs_copied > 1.5 * gc_copied, "VSGM ships {} vs GCSM {}", vs_copied, gc_copied);
 }
 
 /// The GCSM phase breakdown is sane: FE and DC are real but do not dominate
@@ -145,17 +142,15 @@ fn um_page_cache_warms_across_batches() {
     let mut engine = UnifiedMemEngine::new(cfg(&initial));
     let mut p = Pipeline::new(initial.clone(), queries::q2());
     // Oscillate the same edge set so both batches touch the same pages.
-    let edges: Vec<EdgeUpdate> = vec![
-        EdgeUpdate::insert(1, 2000),
-        EdgeUpdate::insert(2, 2001),
-        EdgeUpdate::insert(3, 2002),
-    ];
-    let deletes: Vec<EdgeUpdate> =
-        edges.iter().map(|u| EdgeUpdate::delete(u.src, u.dst)).collect();
+    let edges: Vec<EdgeUpdate> =
+        vec![EdgeUpdate::insert(1, 2000), EdgeUpdate::insert(2, 2001), EdgeUpdate::insert(3, 2002)];
+    let deletes: Vec<EdgeUpdate> = edges.iter().map(|u| EdgeUpdate::delete(u.src, u.dst)).collect();
     let r1 = p.process_batch(&mut engine, &edges);
     let r2 = p.process_batch(&mut engine, &deletes);
     let r3 = p.process_batch(&mut engine, &edges);
-    let f = |r: &BatchResult| r.traffic.um_faults as f64 / (r.traffic.um_faults + r.traffic.um_hits).max(1) as f64;
+    let f = |r: &BatchResult| {
+        r.traffic.um_faults as f64 / (r.traffic.um_faults + r.traffic.um_hits).max(1) as f64
+    };
     assert!(
         f(&r3) < f(&r1),
         "warm batch must fault less: {:.2} vs {:.2} (mid {:.2})",
@@ -193,8 +188,5 @@ fn frequency_cache_beats_degree_cache() {
     let gc = run(GcsmEngine::new(c.clone()), &initial, &batches);
     let nv_hits: f64 = nv.iter().map(|r| r.cache_hit_rate).sum::<f64>() / nv.len() as f64;
     let gc_hits: f64 = gc.iter().map(|r| r.cache_hit_rate).sum::<f64>() / gc.len() as f64;
-    assert!(
-        gc_hits > nv_hits,
-        "hit rates: GCSM {gc_hits:.2} vs Naive {nv_hits:.2}"
-    );
+    assert!(gc_hits > nv_hits, "hit rates: GCSM {gc_hits:.2} vs Naive {nv_hits:.2}");
 }

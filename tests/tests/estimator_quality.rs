@@ -5,9 +5,7 @@
 use gcsm_datagen::rmat::{generate, RmatConfig};
 use gcsm_freq::{estimate_merged, select_top_frequency, WalkParams};
 use gcsm_graph::{DynamicGraph, EdgeUpdate};
-use gcsm_matcher::{
-    match_incremental, AccessCounter, DriverOptions, DynSource, RecordingSource,
-};
+use gcsm_matcher::{match_incremental, AccessCounter, DriverOptions, DynSource, RecordingSource};
 use gcsm_pattern::{compile_incremental, queries, PlanOptions};
 use rand::{rngs::SmallRng, Rng, SeedableRng};
 

@@ -9,9 +9,7 @@
 use gcsm_datagen::er::gnm;
 use gcsm_freq::{estimate_naive, WalkParams};
 use gcsm_graph::{DynamicGraph, EdgeUpdate};
-use gcsm_matcher::{
-    match_incremental, AccessCounter, DriverOptions, DynSource, RecordingSource,
-};
+use gcsm_matcher::{match_incremental, AccessCounter, DriverOptions, DynSource, RecordingSource};
 use gcsm_pattern::{compile_incremental, queries, PlanOptions};
 
 #[test]
@@ -71,8 +69,7 @@ fn empirical_variance_within_theorem1_bound() {
         let mean: f64 = samples[v].iter().sum::<f64>() / runs as f64;
         let var: f64 =
             samples[v].iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / runs as f64;
-        let bound =
-            m_plans * (n as f64 - 1.0) * delta_e * (d as f64).powi(n as i32 - 2) * c_v;
+        let bound = m_plans * (n as f64 - 1.0) * delta_e * (d as f64).powi(n as i32 - 2) * c_v;
         // Allow 30% statistical slack on the empirical variance.
         assert!(
             var <= bound * 1.3,

@@ -1,0 +1,150 @@
+//! Property tests over the streaming subsystem: for *arbitrary* update
+//! request sequences (duplicates, no-op deletes, self-loops, interleaved
+//! ticks), any seal policy and any producer count,
+//!
+//! 1. the running ledger `count(G_0) + Σ ΔM` equals a from-scratch
+//!    recount after **every** seal, and
+//! 2. the concurrent session replays to exactly the serial reference.
+
+use gcsm::stream::{
+    replay_serial, Backpressure, SealPolicy, SequenceMode, StreamConfig, StreamEvent,
+};
+use gcsm::{EngineConfig, Pipeline};
+use gcsm_bench::{make_engine, EngineKind};
+use gcsm_datagen::er::gnm;
+use gcsm_graph::{EdgeUpdate, UpdateOp};
+use gcsm_pattern::queries;
+use proptest::prelude::*;
+
+/// One raw request: endpoints (possibly equal — a self-loop), the op, and
+/// whether a logical tick follows it in the sequenced stream.
+type Req = (u8, u8, bool, bool);
+
+/// Strategy: graph seed, raw request sequence, seal-policy selector,
+/// producer count.
+fn stream_case() -> impl Strategy<Value = (u64, Vec<Req>, u8, usize)> {
+    (
+        0u64..500,
+        proptest::collection::vec((0u8..20, 0u8..20, any::<bool>(), any::<bool>()), 1..60),
+        0u8..3,
+        1usize..5,
+    )
+}
+
+fn build_events(reqs: &[Req]) -> Vec<(u64, StreamEvent)> {
+    let mut events = Vec::new();
+    for &(a, b, insert, tick) in reqs {
+        let u = EdgeUpdate {
+            src: a as u32,
+            dst: b as u32,
+            op: if insert { UpdateOp::Insert } else { UpdateOp::Delete },
+        };
+        events.push((events.len() as u64, StreamEvent::Update(u)));
+        if tick {
+            events.push((events.len() as u64, StreamEvent::Tick));
+        }
+    }
+    events
+}
+
+fn pick_policy(selector: u8, n: usize) -> SealPolicy {
+    match selector {
+        0 => SealPolicy::Size(1 + n % 13),
+        1 => SealPolicy::OnTick,
+        _ => SealPolicy::SizeOrTick(1 + n % 17),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Invariant: `count(G_k) = count(G_0) + Σ_{i≤k} ΔM_i` at every seal,
+    /// no matter how ill-formed the request stream is (coalescing and
+    /// `DynamicGraph::apply` both only count what actually changed).
+    #[test]
+    fn ledger_matches_recount_at_every_seal((seed, reqs, selector, _producers) in stream_case()) {
+        let g0 = gnm(20, 50, seed);
+        let events = build_events(&reqs);
+        let policy = pick_policy(selector, reqs.len());
+        let mut pipeline = Pipeline::new(g0, queries::triangle());
+        let mut engine = make_engine(EngineKind::Cpu, EngineConfig::with_cache_budget(64 << 10));
+        let mut total = pipeline.static_count(false);
+        let checks = replay_serial(&events, policy, |sealed| {
+            let r = pipeline.process_batch(engine.as_mut(), &sealed.updates);
+            total += r.matches;
+            assert_eq!(
+                total,
+                pipeline.static_count(false),
+                "ledger drifted at batch {} under {policy:?}",
+                sealed.meta.batch_index,
+            );
+        });
+        // Even with zero sealed batches (everything coalesced away) the
+        // base must still be the truth.
+        prop_assert_eq!(total, pipeline.static_count(false));
+        prop_assert!(checks.len() <= events.len());
+    }
+
+    /// Invariant: the concurrent session with any producer count produces
+    /// the serial reference's batches — same updates, same ΔM, same
+    /// sequence spans — for every seal policy.
+    #[test]
+    fn concurrent_session_equals_serial_replay((seed, reqs, selector, producers) in stream_case()) {
+        let g0 = gnm(20, 50, seed);
+        let events = build_events(&reqs);
+        let policy = pick_policy(selector, reqs.len());
+        let cfg = EngineConfig::with_cache_budget(64 << 10);
+
+        let mut serial_pipeline = Pipeline::new(g0.clone(), queries::triangle());
+        let mut serial_engine = make_engine(EngineKind::Cpu, cfg.clone());
+        let reference: Vec<(Vec<EdgeUpdate>, i64, u64, u64)> =
+            replay_serial(&events, policy, |sealed| {
+                let r = serial_pipeline.process_batch(serial_engine.as_mut(), &sealed.updates);
+                (sealed.updates.clone(), r.matches, sealed.meta.first_seq, sealed.meta.last_seq)
+            });
+
+        let pipeline = Pipeline::new(g0, queries::triangle());
+        let base = pipeline.static_count(false);
+        let session = gcsm::stream::spawn_pipeline(
+            pipeline,
+            make_engine(EngineKind::Cpu, cfg),
+            base,
+            StreamConfig {
+                seal_policy: policy,
+                capacity: 64,
+                backpressure: Backpressure::Block,
+                mode: SequenceMode::Explicit,
+            },
+        );
+        std::thread::scope(|s| {
+            for p in 0..producers {
+                let producer = session.producer();
+                let events = &events;
+                s.spawn(move || {
+                    let mut i = p;
+                    while i < events.len() {
+                        let (seq, ev) = events[i];
+                        match ev {
+                            StreamEvent::Update(u) => producer.ingest_at(seq, u),
+                            StreamEvent::Tick => producer.tick_at(seq),
+                        };
+                        i += producers;
+                    }
+                });
+            }
+        });
+        let (report, processor) = session.finish();
+        let got: Vec<(Vec<EdgeUpdate>, i64, u64, u64)> = report
+            .batches
+            .iter()
+            .map(|b| {
+                let m = b.result.stream.expect("stream meta");
+                (b.updates.clone(), b.result.matches, m.first_seq, m.last_seq)
+            })
+            .collect();
+        prop_assert_eq!(got, reference);
+        // And the session's own ledger closes against a final recount.
+        let final_total = report.batches.last().map(|b| b.running_total).unwrap_or(base);
+        prop_assert_eq!(final_total, processor.into_pipeline().static_count(false));
+    }
+}

@@ -1,0 +1,279 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the slice of the proptest API this workspace uses: the
+//! [`Strategy`] trait with `Value` associated type, integer-range / bool /
+//! tuple / `collection::vec` strategies, [`ProptestConfig::with_cases`],
+//! and the [`proptest!`] macro with `pattern in strategy` arguments plus
+//! `prop_assert!` / `prop_assert_eq!` / `prop_assume!`.
+//!
+//! Differences from real proptest, by design:
+//! * **No shrinking.** A failing case reports its case index and RNG seed
+//!   (enough to replay deterministically) instead of a minimized input.
+//! * **Deterministic by default.** Case `i` of test `t` always sees the
+//!   same inputs, derived from `fxhash(t) ⊕ i` — CI failures reproduce
+//!   locally without persistence files.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// The RNG handed to strategies.
+pub type TestRng = SmallRng;
+
+/// Runner configuration.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// FNV-1a, used to derive a per-test seed from its name.
+#[doc(hidden)]
+pub fn name_seed(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// A value generator. `Value` matches proptest's associated-type name so
+/// `impl Strategy<Value = T>` return types compile unchanged.
+pub trait Strategy {
+    type Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                use rand::Rng;
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// `any::<T>()` support.
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+pub fn any<T>() -> Any<T>
+where
+    Any<T>: Strategy,
+{
+    Any(std::marker::PhantomData)
+}
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        use rand::Rng;
+        rng.gen()
+    }
+}
+
+macro_rules! any_int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                use rand::Rng;
+                rng.gen()
+            }
+        }
+    )*};
+}
+any_int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Any<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        use rand::Rng;
+        rng.gen()
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Strategy for `Vec<S::Value>` with length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: std::ops::Range<usize>,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "collection::vec: empty size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            use rand::Rng;
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+#[doc(hidden)]
+pub fn case_rng(test_seed: u64, case: u32) -> TestRng {
+    // SplitMix-style mixing keeps neighbouring cases decorrelated.
+    SmallRng::seed_from_u64(test_seed ^ (case as u64).wrapping_mul(0x9E3779B97F4A7C15))
+}
+
+/// Assert inside a proptest body (panics on failure, like `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Assert equality inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Skip the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+    ($cond:expr,) => {
+        $crate::prop_assume!($cond)
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    ($cfg:expr, $name:ident, ( $($pat:pat in $strat:expr),* $(,)? ), $body:block) => {{
+        let config: $crate::ProptestConfig = $cfg;
+        let test_seed = $crate::name_seed(concat!(module_path!(), "::", stringify!($name)));
+        for __case in 0..config.cases {
+            let mut __rng = $crate::case_rng(test_seed, __case);
+            $(let $pat = $crate::Strategy::generate(&($strat), &mut __rng);)*
+            let __result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| $body));
+            if let Err(payload) = __result {
+                eprintln!(
+                    "[proptest] {} failed at case {} of {} (test seed {:#x})",
+                    stringify!($name),
+                    __case,
+                    config.cases,
+                    test_seed,
+                );
+                std::panic::resume_unwind(payload);
+            }
+        }
+    }};
+}
+
+/// The `proptest!` macro: expands each `fn name(pat in strategy, ...)`
+/// item into a `#[test]` running `config.cases` generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!{ ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident ( $($args:tt)* ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::__proptest_body!($cfg, $name, ( $($args)* ), $body);
+        }
+        $crate::__proptest_items!{ ($cfg) $($rest)* }
+    };
+}
+
+/// Everything a test file needs.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assume, proptest};
+    pub use crate::{Any, ProptestConfig, Strategy, TestRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn generation_is_deterministic_per_case() {
+        let strat = (0u32..100, collection::vec(0u8..10, 1..5));
+        let mut a = crate::case_rng(1234, 7);
+        let mut b = crate::case_rng(1234, 7);
+        assert_eq!(strat.generate(&mut a), strat.generate(&mut b));
+        let mut c = crate::case_rng(1234, 8);
+        // Different case index almost surely differs somewhere over many draws.
+        let va: Vec<u32> = (0..32).map(|_| (0u32..1000).generate(&mut a)).collect();
+        let vc: Vec<u32> = (0..32).map(|_| (0u32..1000).generate(&mut c)).collect();
+        assert_ne!(va, vc);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 5u32..10, v in collection::vec(0u8..4, 2..6), b in any::<bool>()) {
+            prop_assert!((5..10).contains(&x));
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(v.iter().all(|&e| e < 4));
+            let _ = b;
+        }
+
+        #[test]
+        fn assume_skips_cases((a, b) in (0u8..10, 0u8..10)) {
+            prop_assume!(a != b);
+            prop_assert!(a != b);
+        }
+    }
+}

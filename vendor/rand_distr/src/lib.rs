@@ -1,0 +1,149 @@
+//! Offline stand-in for `rand_distr`: just [`Binomial`], which is all the
+//! workspace uses (the merged walk estimator draws per-node binomials).
+//!
+//! Sampling strategy:
+//! * `n ≤ 64` — count Bernoulli successes directly (exact);
+//! * `n·min(p, 1−p) ≤ 32` — BINV inversion (exact);
+//! * otherwise — normal approximation with continuity correction, clamped
+//!   to `[0, n]` (the estimator consumes these counts statistically; the
+//!   paper's guarantees are about expectations and variance, both of which
+//!   the approximation preserves at this scale).
+
+use rand::{Rng, RngCore};
+
+/// Error for invalid distribution parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BinomialError;
+
+impl std::fmt::Display for BinomialError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid binomial parameters: p must be in [0, 1]")
+    }
+}
+
+impl std::error::Error for BinomialError {}
+
+/// Sampling interface, as in `rand_distr::Distribution`.
+pub trait Distribution<T> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The binomial distribution `Binomial(n, p)`.
+#[derive(Clone, Copy, Debug)]
+pub struct Binomial {
+    n: u64,
+    p: f64,
+}
+
+impl Binomial {
+    pub fn new(n: u64, p: f64) -> Result<Self, BinomialError> {
+        if !(0.0..=1.0).contains(&p) || p.is_nan() {
+            return Err(BinomialError);
+        }
+        Ok(Self { n, p })
+    }
+}
+
+impl Distribution<u64> for Binomial {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
+        let (n, p) = (self.n, self.p);
+        if n == 0 || p == 0.0 {
+            return 0;
+        }
+        if p == 1.0 {
+            return n;
+        }
+        // Sample against q = min(p, 1-p) and flip at the end if needed.
+        let flipped = p > 0.5;
+        let q = if flipped { 1.0 - p } else { p };
+
+        let successes = if n <= 64 {
+            (0..n).filter(|_| rng.gen_bool(q)).count() as u64
+        } else if n as f64 * q <= 32.0 {
+            binv(n, q, rng)
+        } else {
+            normal_approx(n, q, rng)
+        };
+        if flipped {
+            n - successes
+        } else {
+            successes
+        }
+    }
+}
+
+/// BINV: walk the CDF from k = 0. Exact; expected O(n·q) iterations.
+fn binv<R: RngCore + ?Sized>(n: u64, q: f64, rng: &mut R) -> u64 {
+    let s = q / (1.0 - q);
+    let a = (n + 1) as f64 * s;
+    let mut r = (1.0 - q).powi(n as i32); // P(X = 0); n·q ≤ 32 keeps this > 0
+    let mut u: f64 = rng.gen::<f64>();
+    let mut k = 0u64;
+    while u > r {
+        u -= r;
+        k += 1;
+        if k > n {
+            // Float underflow guard: the tail mass was below representable
+            // precision; clamp to the maximum.
+            return n;
+        }
+        r *= a / k as f64 - s;
+    }
+    k
+}
+
+/// Normal approximation with continuity correction (for large n·q).
+fn normal_approx<R: RngCore + ?Sized>(n: u64, q: f64, rng: &mut R) -> u64 {
+    let mean = n as f64 * q;
+    let sd = (mean * (1.0 - q)).sqrt();
+    // Box–Muller.
+    let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.gen::<f64>();
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    let x = (mean + sd * z + 0.5).floor();
+    x.clamp(0.0, n as f64) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_p() {
+        assert!(Binomial::new(10, -0.1).is_err());
+        assert!(Binomial::new(10, 1.1).is_err());
+        assert!(Binomial::new(10, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        assert_eq!(Binomial::new(0, 0.5).unwrap().sample(&mut rng), 0);
+        assert_eq!(Binomial::new(9, 0.0).unwrap().sample(&mut rng), 0);
+        assert_eq!(Binomial::new(9, 1.0).unwrap().sample(&mut rng), 9);
+    }
+
+    #[test]
+    fn mean_is_close_across_regimes() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        // (n, p) hitting the Bernoulli, BINV, and normal paths.
+        for &(n, p) in &[(40u64, 0.3f64), (500, 0.01), (10_000, 0.4)] {
+            let d = Binomial::new(n, p).unwrap();
+            let trials = 4000;
+            let sum: u64 = (0..trials).map(|_| d.sample(&mut rng)).sum();
+            let mean = sum as f64 / trials as f64;
+            let expect = n as f64 * p;
+            let sd = (expect * (1.0 - p)).sqrt();
+            // Mean of `trials` samples should sit well within 5 standard
+            // errors of the expectation.
+            assert!(
+                (mean - expect).abs() < 5.0 * sd / (trials as f64).sqrt() + 1e-9,
+                "n={n} p={p}: mean {mean} vs expected {expect}"
+            );
+            // Samples never exceed n.
+            assert!((0..200).all(|_| d.sample(&mut rng) <= n));
+        }
+    }
+}

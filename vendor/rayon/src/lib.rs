@@ -1,0 +1,295 @@
+//! Offline stand-in for `rayon`.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the parallel-iterator subset it uses: `par_iter` / `par_iter_mut` /
+//! `into_par_iter` plus the `map`, `map_init`, `fold`, `reduce`, `filter`,
+//! `zip`, `for_each`, `sum`, and `collect` combinators.
+//!
+//! Unlike real rayon there is no work-stealing pool: a parallel iterator
+//! materializes its items, splits them into one ordered chunk per available
+//! core, and runs the chunks under [`std::thread::scope`]. Combinator
+//! results preserve input order, and every reduction the workspace performs
+//! is over integer counters, so chunking never changes observable results.
+
+use std::thread;
+
+/// Number of worker chunks for `n` items.
+fn workers(n: usize) -> usize {
+    if n <= 1 {
+        return 1;
+    }
+    thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(n)
+}
+
+/// Split a vector into `k` contiguous chunks, preserving order.
+fn split_into<T>(mut items: Vec<T>, k: usize) -> Vec<Vec<T>> {
+    let n = items.len();
+    if k <= 1 || n <= 1 {
+        return vec![items];
+    }
+    let chunk = n.div_ceil(k);
+    let mut out = Vec::with_capacity(k);
+    while items.len() > chunk {
+        let rest = items.split_off(chunk);
+        out.push(std::mem::replace(&mut items, rest));
+    }
+    out.push(items);
+    out
+}
+
+/// Run `f` over each chunk on its own scoped thread, in order.
+fn run_chunks<T, R, F>(chunks: Vec<Vec<T>>, f: F) -> Vec<Vec<R>>
+where
+    T: Send,
+    R: Send,
+    F: Fn(Vec<T>) -> Vec<R> + Sync,
+{
+    if chunks.len() == 1 {
+        return chunks.into_iter().map(&f).collect();
+    }
+    let f = &f;
+    thread::scope(|s| {
+        let handles: Vec<_> = chunks.into_iter().map(|c| s.spawn(move || f(c))).collect();
+        handles.into_iter().map(|h| h.join().expect("parallel worker panicked")).collect()
+    })
+}
+
+/// An eager "parallel iterator": items are materialized and heavy
+/// combinators fan out across threads.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    pub fn map<R, F>(self, f: F) -> ParIter<R>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        let n = self.items.len();
+        let chunks = split_into(self.items, workers(n));
+        let mapped = run_chunks(chunks, |c| c.into_iter().map(&f).collect());
+        ParIter { items: mapped.into_iter().flatten().collect() }
+    }
+
+    /// Like rayon's `map_init`: one `init()` state per worker chunk.
+    pub fn map_init<S, R, INIT, F>(self, init: INIT, f: F) -> ParIter<R>
+    where
+        R: Send,
+        INIT: Fn() -> S + Sync,
+        F: Fn(&mut S, T) -> R + Sync,
+    {
+        let n = self.items.len();
+        let chunks = split_into(self.items, workers(n));
+        let mapped = run_chunks(chunks, |c| {
+            let mut state = init();
+            c.into_iter().map(|x| f(&mut state, x)).collect()
+        });
+        ParIter { items: mapped.into_iter().flatten().collect() }
+    }
+
+    /// Like rayon's `fold`: each worker chunk folds into its own
+    /// accumulator; the result is a parallel iterator over accumulators.
+    pub fn fold<A, ID, F>(self, identity: ID, fold_op: F) -> ParIter<A>
+    where
+        A: Send,
+        ID: Fn() -> A + Sync,
+        F: Fn(A, T) -> A + Sync,
+    {
+        let n = self.items.len();
+        let chunks = split_into(self.items, workers(n));
+        let folded = run_chunks(chunks, |c| vec![c.into_iter().fold(identity(), &fold_op)]);
+        ParIter { items: folded.into_iter().flatten().collect() }
+    }
+
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> T
+    where
+        ID: Fn() -> T,
+        OP: Fn(T, T) -> T,
+    {
+        self.items.into_iter().fold(identity(), op)
+    }
+
+    pub fn filter<P>(mut self, predicate: P) -> ParIter<T>
+    where
+        P: Fn(&T) -> bool,
+    {
+        self.items.retain(|x| predicate(x));
+        self
+    }
+
+    pub fn zip<U: Send>(self, other: ParIter<U>) -> ParIter<(T, U)> {
+        ParIter { items: self.items.into_iter().zip(other.items).collect() }
+    }
+
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        let n = self.items.len();
+        let chunks = split_into(self.items, workers(n));
+        run_chunks(chunks, |c| {
+            c.into_iter().for_each(&f);
+            Vec::<()>::new()
+        });
+    }
+
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<T>,
+    {
+        self.items.into_iter().sum()
+    }
+
+    pub fn collect<C>(self) -> C
+    where
+        C: FromIterator<T>,
+    {
+        self.items.into_iter().collect()
+    }
+
+    pub fn count(self) -> usize {
+        self.items.len()
+    }
+}
+
+/// `into_par_iter()` for owned collections and ranges.
+pub trait IntoParallelIterator {
+    type Item: Send;
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<I> IntoParallelIterator for I
+where
+    I: IntoIterator,
+    I::Item: Send,
+{
+    type Item = I::Item;
+    fn into_par_iter(self) -> ParIter<I::Item> {
+        ParIter { items: self.into_iter().collect() }
+    }
+}
+
+/// `par_iter()` for `&C`.
+pub trait IntoParallelRefIterator<'data> {
+    type Item: Send + 'data;
+    fn par_iter(&'data self) -> ParIter<Self::Item>;
+}
+
+impl<'data, C: ?Sized + 'data> IntoParallelRefIterator<'data> for C
+where
+    &'data C: IntoIterator,
+    <&'data C as IntoIterator>::Item: Send,
+{
+    type Item = <&'data C as IntoIterator>::Item;
+    fn par_iter(&'data self) -> ParIter<Self::Item> {
+        ParIter { items: self.into_iter().collect() }
+    }
+}
+
+/// `par_iter_mut()` for `&mut C`.
+pub trait IntoParallelRefMutIterator<'data> {
+    type Item: Send + 'data;
+    fn par_iter_mut(&'data mut self) -> ParIter<Self::Item>;
+}
+
+impl<'data, C: ?Sized + 'data> IntoParallelRefMutIterator<'data> for C
+where
+    &'data mut C: IntoIterator,
+    <&'data mut C as IntoIterator>::Item: Send,
+{
+    type Item = <&'data mut C as IntoIterator>::Item;
+    fn par_iter_mut(&'data mut self) -> ParIter<Self::Item> {
+        ParIter { items: self.into_iter().collect() }
+    }
+}
+
+pub mod prelude {
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParIter,
+    };
+}
+
+/// `rayon::join` stand-in: runs both closures (in parallel when possible).
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("join worker panicked"))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let v: Vec<u64> = (0..10_000).collect();
+        let doubled: Vec<u64> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..10_000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fold_then_reduce_sums() {
+        let v: Vec<u64> = (1..=1000).collect();
+        let total = v.par_iter().fold(|| 0u64, |acc, &x| acc + x).reduce(|| 0, |a, b| a + b);
+        assert_eq!(total, 500_500);
+    }
+
+    #[test]
+    fn map_init_keeps_per_chunk_state() {
+        let v: Vec<u32> = (0..257).collect();
+        let out: Vec<u32> = v
+            .par_iter()
+            .map_init(
+                || 1u32,
+                |s, &x| {
+                    *s += 1;
+                    x + (*s > 0) as u32
+                },
+            )
+            .collect();
+        assert_eq!(out, (1..258).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_mut_and_zip_and_filter() {
+        let mut v = vec![1u32; 8];
+        let flags = [true, false, true, false, true, false, true, false];
+        let n: usize = v
+            .par_iter_mut()
+            .zip(flags.par_iter())
+            .filter(|(_, &f)| f)
+            .map(|(x, _)| {
+                *x += 1;
+                1usize
+            })
+            .sum();
+        assert_eq!(n, 4);
+        assert_eq!(v, vec![2, 1, 2, 1, 2, 1, 2, 1]);
+    }
+
+    #[test]
+    fn range_for_each_runs_every_item() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let hits = AtomicUsize::new(0);
+        (0..500usize).into_par_iter().for_each(|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 500);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = super::join(|| 2 + 2, || "ok");
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+}
