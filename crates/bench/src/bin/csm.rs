@@ -147,26 +147,34 @@ fn main() {
             gcsm_datagen::UpdateStream::generate(&g, gcsm_datagen::StreamConfig::Fraction(0.1), 7);
         (stream.initial, stream.updates)
     } else {
-        let g = io::load_edge_list(args.graph.as_ref().unwrap()).unwrap_or_else(|e| {
-            eprintln!("csm: {e}");
-            std::process::exit(1);
+        let graph_path = args.graph.as_deref().unwrap_or_else(|| {
+            eprintln!("csm: --graph is required without --demo (try --help)");
+            std::process::exit(2);
         });
-        let u = io::load_updates(args.updates.as_ref().unwrap()).unwrap_or_else(|e| {
-            eprintln!("csm: {e}");
-            std::process::exit(1);
+        let updates_path = args.updates.as_deref().unwrap_or_else(|| {
+            eprintln!("csm: --updates is required without --demo (try --help)");
+            std::process::exit(2);
+        });
+        let g = io::load_edge_list(graph_path).unwrap_or_else(|e| {
+            eprintln!("csm: --graph {graph_path}: {e}");
+            std::process::exit(2);
+        });
+        let u = io::load_updates(updates_path).unwrap_or_else(|e| {
+            eprintln!("csm: --updates {updates_path}: {e}");
+            std::process::exit(2);
         });
         (g, u)
     };
     let query = resolve_query(&args.query).unwrap_or_else(|e| {
-        eprintln!("csm: bad query: {e}");
-        std::process::exit(1);
+        eprintln!("csm: --query {}: {e}", args.query);
+        std::process::exit(2);
     });
 
     let budget = ((graph.adjacency_bytes() as f64 * args.budget_frac) as usize).max(64 << 10);
     let mut cfg = EngineConfig::with_cache_budget(budget);
     cfg.plan.symmetry_break = args.unique;
     let mut engine = make_engine(&args.engine, cfg).unwrap_or_else(|e| {
-        eprintln!("csm: {e}");
+        eprintln!("csm: --engine {}: {e}", args.engine);
         std::process::exit(2);
     });
 

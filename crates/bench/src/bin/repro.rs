@@ -18,6 +18,26 @@ use gcsm_graph::DynamicGraph;
 use gcsm_matcher::{match_incremental, AccessCounter, DriverOptions, DynSource, RecordingSource};
 use gcsm_pattern::{connected_motifs, queries, QueryGraph};
 
+/// The value following flag `args[i]`, or exit 2 naming the flag.
+fn flag_value(args: &[String], i: usize) -> &str {
+    args.get(i + 1).map(String::as_str).unwrap_or_else(|| {
+        eprintln!("repro: {} needs a value", args[i]);
+        std::process::exit(2);
+    })
+}
+
+/// Parse the value following flag `args[i]`, or exit 2 naming flag + value.
+fn flag_parse<T: std::str::FromStr>(args: &[String], i: usize) -> T
+where
+    T::Err: std::fmt::Display,
+{
+    let v = flag_value(args, i);
+    v.parse().unwrap_or_else(|e| {
+        eprintln!("repro: {} {v}: {e}", args[i]);
+        std::process::exit(2);
+    })
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut experiments: Vec<String> = Vec::new();
@@ -27,16 +47,16 @@ fn main() {
     while i < args.len() {
         match args[i].as_str() {
             "--scale" => {
+                rc.scale = flag_parse(&args, i);
                 i += 1;
-                rc.scale = args[i].parse().expect("--scale takes a float");
             }
             "--batches" => {
+                rc.max_batches = flag_parse(&args, i);
                 i += 1;
-                rc.max_batches = args[i].parse().expect("--batches takes an int");
             }
             "--json" => {
+                json_path = Some(flag_value(&args, i).to_string());
                 i += 1;
-                json_path = Some(args[i].clone());
             }
             e => experiments.push(e.to_string()),
         }
@@ -107,7 +127,10 @@ fn main() {
         t.print();
     }
     if let Some(path) = json_path {
-        gcsm_bench::report::write_json(&tables, &path).expect("write json report");
+        gcsm_bench::report::write_json(&tables, &path).unwrap_or_else(|e| {
+            eprintln!("repro: --json {path}: {e}");
+            std::process::exit(2);
+        });
         println!("\n# wrote JSON report to {path}");
     }
 }

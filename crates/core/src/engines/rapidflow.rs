@@ -59,17 +59,17 @@ impl Engine for RapidFlowEngine {
         // Index construction / maintenance, charged as CPU streaming work
         // over the index bytes plus one filter op per (vertex, qvertex).
         let maintenance_items;
-        match &mut self.inner {
-            None => {
-                self.inner = Some(RapidFlow::new(query.clone(), graph, self.cfg.plan));
+        let rf = match &mut self.inner {
+            slot @ None => {
                 maintenance_items = graph.num_vertices() * query.num_vertices();
+                slot.insert(RapidFlow::new(query.clone(), graph, self.cfg.plan))
             }
             Some(rf) => {
                 rf.update_index(graph);
                 maintenance_items = graph.updated_vertices().len() * query.num_vertices();
+                rf
             }
-        }
-        let rf = self.inner.as_ref().expect("index built");
+        };
         phases.update = maintenance_items as f64 * self.cfg.gpu.cpu_op_cost
             + rf.index_bytes() as f64 / self.cfg.gpu.cpu_mem_bandwidth / 8.0;
 

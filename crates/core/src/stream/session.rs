@@ -214,20 +214,28 @@ impl StreamProducer {
     fn push(&self, env: Envelope) -> bool {
         match self.backpressure {
             Backpressure::Block => {
+                // Relaxed: depth is an advisory gauge read by monitors; the
+                // channel itself orders the envelopes, so no acquire/release
+                // pairing is needed on the counter.
                 self.depth.fetch_add(1, Ordering::Relaxed);
                 if self.tx.send(env).is_err() {
+                    // Relaxed: undo of the advisory gauge above.
                     self.depth.fetch_sub(1, Ordering::Relaxed);
                     return false;
                 }
                 true
             }
             Backpressure::DropNewest => {
+                // Relaxed: same advisory gauge as the Block arm.
                 self.depth.fetch_add(1, Ordering::Relaxed);
                 match self.tx.try_send(env) {
                     Ok(()) => true,
                     Err(e) => {
+                        // Relaxed: undo of the advisory gauge above.
                         self.depth.fetch_sub(1, Ordering::Relaxed);
                         if matches!(e, TrySendError::Full(_)) {
+                            // Relaxed: monotonic statistics counter; readers
+                            // only need an eventually-consistent total.
                             self.dropped.fetch_add(1, Ordering::Relaxed);
                         }
                         false
@@ -339,6 +347,9 @@ impl<P: BatchProcessor + 'static> StreamSession<P> {
         drop(self.tx.take());
         let (mut report, processor) =
             self.worker.take().expect("finish called once").join().expect("stream worker panicked");
+        // Relaxed: all producers have dropped and the worker has joined, so
+        // the thread join already synchronizes; this read sees the final
+        // value regardless of ordering.
         report.dropped = self.dropped.load(Ordering::Relaxed);
         (report, processor)
     }
@@ -395,6 +406,8 @@ fn run_worker<P: BatchProcessor>(
             }
         };
         if let Some(mut sealed) = sealed {
+            // Relaxed: advisory point-in-time gauge recorded in batch
+            // metadata; exactness is not part of the determinism contract.
             sealed.meta.queue_depth = depth.load(Ordering::Relaxed);
             let out = processor.process(&sealed);
             subscribers.lock().retain(|tx| tx.send(out.clone()).is_ok());
@@ -403,6 +416,8 @@ fn run_worker<P: BatchProcessor>(
     };
 
     while let Ok(env) = rx.recv() {
+        // Relaxed: advisory gauge decrement; the channel recv ordered the
+        // envelope itself.
         depth.fetch_sub(1, Ordering::Relaxed);
         match env.seq {
             Some(seq) => {

@@ -44,6 +44,24 @@ impl AdjList {
     fn find_in_prefix(&self, v: VertexId) -> Result<usize, usize> {
         self.data[..self.old_len].binary_search_by_key(&v, |&e| decode_neighbor(e))
     }
+
+    /// Structural invariant: `dead` counts exactly the tombstones in the
+    /// prefix (the tail never holds tombstones). Referenced from
+    /// `debug_assert!` sites, so it must exist in release builds too.
+    fn tombstones_consistent(&self) -> bool {
+        self.data[..self.old_len].iter().filter(|&&e| is_tombstone(e)).count() == self.dead
+            && !self.data[self.old_len..].iter().any(|&e| is_tombstone(e))
+    }
+
+    /// Post-reorganize invariant: a single strictly sorted live run with no
+    /// tombstones and no unsealed tail. Referenced from `debug_assert!`
+    /// sites, so it must exist in release builds too.
+    fn is_clean_sorted(&self) -> bool {
+        self.dead == 0
+            && self.old_len == self.data.len()
+            && self.data.windows(2).all(|w| w[0] < w[1])
+            && !self.data.iter().any(|&e| is_tombstone(e))
+    }
 }
 
 /// Summary of a sealed batch, handed to the matching stage.
@@ -308,6 +326,14 @@ impl DynamicGraph {
             let list = &mut self.lists[v as usize];
             let old_len = list.old_len;
             list.data[old_len..].sort_unstable();
+            debug_assert!(
+                list.data[old_len..].windows(2).all(|w| w[0] < w[1]),
+                "sealed tail of v{v} not strictly sorted (duplicate append slipped through)"
+            );
+            debug_assert!(
+                list.tombstones_consistent(),
+                "tombstone count drifted for v{v} during batch application"
+            );
         }
         self.phase = Phase::Sealed;
         self.batch.clone()
@@ -374,6 +400,10 @@ impl DynamicGraph {
             list.data.extend_from_slice(&merged);
             list.old_len = list.data.len();
             list.dead = 0;
+            debug_assert!(
+                list.is_clean_sorted(),
+                "reorganize left v{v} unsorted, duplicated, or tombstoned"
+            );
             count += 1;
         }
         self.touched.clear();
@@ -436,6 +466,10 @@ impl DynamicGraph {
                 list.data.extend_from_slice(&merged);
                 list.old_len = list.data.len();
                 list.dead = 0;
+                debug_assert!(
+                    list.is_clean_sorted(),
+                    "parallel reorganize left a list unsorted, duplicated, or tombstoned"
+                );
                 1
             })
             .sum();

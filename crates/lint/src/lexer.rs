@@ -1,0 +1,355 @@
+//! A minimal Rust lexer — just enough structure for the lint rules.
+//!
+//! Produces a flat token stream (identifiers, punctuation, literals) plus a
+//! separate comment list, both carrying 1-based line numbers. Comments,
+//! strings, char literals, lifetimes, and raw strings are recognized so that
+//! rule patterns (`.unwrap(`, `Ordering::Relaxed`, `unsafe`, …) never match
+//! inside text. This is intentionally not a full lexer: multi-character
+//! operators arrive as single punctuation tokens (`::` is `:` `:`), which is
+//! all the token-sequence rules need.
+
+/// Token classification.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (the lexer does not distinguish).
+    Ident,
+    /// `'a`-style lifetime.
+    Lifetime,
+    /// Single punctuation character.
+    Punct,
+    /// Numeric literal (integer or float, with suffix).
+    Num,
+    /// String, raw string, byte string, or char literal.
+    Lit,
+}
+
+/// One lexed token.
+#[derive(Clone, Debug)]
+pub struct Token {
+    pub kind: TokKind,
+    pub text: String,
+    /// 1-based source line of the token's first character.
+    pub line: u32,
+}
+
+/// One comment (line `//…` or block `/*…*/`, doc variants included).
+#[derive(Clone, Debug)]
+pub struct Comment {
+    /// 1-based line of the `//` or `/*`.
+    pub line: u32,
+    /// 1-based line of the comment's last character.
+    pub end_line: u32,
+    /// Full comment text including the delimiters.
+    pub text: String,
+}
+
+/// Lexer output: code tokens and comments, both in source order.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+impl Lexed {
+    /// All comments that cover `line` (a block comment spans a range).
+    pub fn comments_on(&self, line: u32) -> impl Iterator<Item = &Comment> {
+        self.comments.iter().filter(move |c| c.line <= line && line <= c.end_line)
+    }
+
+    /// True if `line` holds comments/whitespace only (no code tokens).
+    pub fn line_is_comment_only(&self, line: u32) -> bool {
+        self.comments_on(line).next().is_some() && !self.tokens.iter().any(|t| t.line == line)
+    }
+}
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek(0)?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+        }
+        Some(b)
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lex `src` into tokens and comments. Never fails: unrecognized bytes are
+/// emitted as punctuation so downstream rules stay deterministic.
+pub fn lex(src: &str) -> Lexed {
+    let mut c = Cursor { src: src.as_bytes(), pos: 0, line: 1 };
+    let mut out = Lexed::default();
+
+    while let Some(b) = c.peek(0) {
+        let start = c.pos;
+        let line = c.line;
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                c.bump();
+            }
+            b'/' if c.peek(1) == Some(b'/') => {
+                while let Some(n) = c.peek(0) {
+                    if n == b'\n' {
+                        break;
+                    }
+                    c.bump();
+                }
+                out.comments.push(Comment {
+                    line,
+                    end_line: c.line,
+                    text: src[start..c.pos].to_string(),
+                });
+            }
+            b'/' if c.peek(1) == Some(b'*') => {
+                c.bump();
+                c.bump();
+                let mut depth = 1usize;
+                while depth > 0 {
+                    match (c.peek(0), c.peek(1)) {
+                        (Some(b'/'), Some(b'*')) => {
+                            c.bump();
+                            c.bump();
+                            depth += 1;
+                        }
+                        (Some(b'*'), Some(b'/')) => {
+                            c.bump();
+                            c.bump();
+                            depth -= 1;
+                        }
+                        (Some(_), _) => {
+                            c.bump();
+                        }
+                        (None, _) => break,
+                    }
+                }
+                out.comments.push(Comment {
+                    line,
+                    end_line: c.line,
+                    text: src[start..c.pos].to_string(),
+                });
+            }
+            b'r' | b'b' if starts_raw_or_byte_string(&c) => {
+                lex_raw_or_byte_string(&mut c);
+                out.tokens.push(Token { kind: TokKind::Lit, text: String::new(), line });
+            }
+            b'"' => {
+                lex_quoted(&mut c, b'"');
+                out.tokens.push(Token { kind: TokKind::Lit, text: String::new(), line });
+            }
+            b'\'' => {
+                // Lifetime (`'a`) vs char literal (`'a'`, `'\n'`, `'('`).
+                if c.peek(1).is_some_and(is_ident_start) && c.peek(1) != Some(b'\\') {
+                    let mut end = c.pos + 2;
+                    while c.src.get(end).copied().is_some_and(is_ident_continue) {
+                        end += 1;
+                    }
+                    if c.src.get(end) == Some(&b'\'') {
+                        // Single-ident-char char literal like 'a'.
+                        while c.pos <= end {
+                            c.bump();
+                        }
+                        out.tokens.push(Token { kind: TokKind::Lit, text: String::new(), line });
+                    } else {
+                        let text = src[c.pos..end].to_string();
+                        while c.pos < end {
+                            c.bump();
+                        }
+                        out.tokens.push(Token { kind: TokKind::Lifetime, text, line });
+                    }
+                } else {
+                    lex_quoted(&mut c, b'\'');
+                    out.tokens.push(Token { kind: TokKind::Lit, text: String::new(), line });
+                }
+            }
+            _ if is_ident_start(b) => {
+                while c.peek(0).is_some_and(is_ident_continue) {
+                    c.bump();
+                }
+                out.tokens.push(Token {
+                    kind: TokKind::Ident,
+                    text: src[start..c.pos].to_string(),
+                    line,
+                });
+            }
+            _ if b.is_ascii_digit() => {
+                while c.peek(0).is_some_and(|n| n.is_ascii_alphanumeric() || n == b'_') {
+                    c.bump();
+                }
+                // Fractional part, but never swallow the `..` of a range.
+                if c.peek(0) == Some(b'.') && c.peek(1).is_some_and(|n| n.is_ascii_digit()) {
+                    c.bump();
+                    while c.peek(0).is_some_and(|n| n.is_ascii_alphanumeric() || n == b'_') {
+                        c.bump();
+                    }
+                }
+                out.tokens.push(Token {
+                    kind: TokKind::Num,
+                    text: src[start..c.pos].to_string(),
+                    line,
+                });
+            }
+            _ => {
+                c.bump();
+                out.tokens.push(Token {
+                    kind: TokKind::Punct,
+                    text: (b as char).to_string(),
+                    line,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// At `r"`/`r#"`, `br"`, `b"`, or `b'`? (`r#ident` raw identifiers and plain
+/// `r`/`b` identifiers must fall through to ident lexing.)
+fn starts_raw_or_byte_string(c: &Cursor<'_>) -> bool {
+    match (c.peek(0), c.peek(1)) {
+        (Some(b'b'), Some(b'"')) | (Some(b'b'), Some(b'\'')) => true,
+        (Some(b'b'), Some(b'r')) => raw_quote_after_hashes(c, 2),
+        (Some(b'r'), _) => raw_quote_after_hashes(c, 1),
+        _ => false,
+    }
+}
+
+fn raw_quote_after_hashes(c: &Cursor<'_>, mut i: usize) -> bool {
+    while c.peek(i) == Some(b'#') {
+        i += 1;
+    }
+    c.peek(i) == Some(b'"')
+}
+
+fn lex_raw_or_byte_string(c: &mut Cursor<'_>) {
+    // Consume optional `b`, optional `r`, the `#`s, then the string.
+    if c.peek(0) == Some(b'b') {
+        c.bump();
+    }
+    let raw = c.peek(0) == Some(b'r');
+    if raw {
+        c.bump();
+    }
+    let mut hashes = 0usize;
+    while c.peek(0) == Some(b'#') {
+        c.bump();
+        hashes += 1;
+    }
+    let quote = c.bump(); // opening " or '
+    if quote == Some(b'\'') {
+        lex_quoted_rest(c, b'\'');
+        return;
+    }
+    if raw {
+        loop {
+            match c.bump() {
+                None => break,
+                Some(b'"') => {
+                    let mut seen = 0usize;
+                    while seen < hashes && c.peek(0) == Some(b'#') {
+                        c.bump();
+                        seen += 1;
+                    }
+                    if seen == hashes {
+                        break;
+                    }
+                }
+                Some(_) => {}
+            }
+        }
+    } else {
+        lex_quoted_rest(c, b'"');
+    }
+}
+
+fn lex_quoted(c: &mut Cursor<'_>, delim: u8) {
+    c.bump(); // opening delimiter
+    lex_quoted_rest(c, delim);
+}
+
+fn lex_quoted_rest(c: &mut Cursor<'_>, delim: u8) {
+    while let Some(b) = c.bump() {
+        if b == b'\\' {
+            c.bump();
+        } else if b == delim {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src).tokens.into_iter().filter(|t| t.kind == TokKind::Ident).map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_tokens() {
+        let src = "let x = \"unwrap() inside\"; // unwrap() in comment\nfoo();";
+        assert_eq!(idents(src), vec!["let", "x", "foo"]);
+        let l = lex(src);
+        assert_eq!(l.comments.len(), 1);
+        assert!(l.comments[0].text.contains("unwrap"));
+    }
+
+    #[test]
+    fn raw_strings_and_chars() {
+        let src = "let s = r#\"a \" b\"#; let c = '\\''; let l: &'static str = \"x\";";
+        assert_eq!(idents(src), vec!["let", "s", "let", "c", "let", "l", "str"]);
+        let lifetimes: Vec<_> =
+            lex(src).tokens.into_iter().filter(|t| t.kind == TokKind::Lifetime).collect();
+        assert_eq!(lifetimes.len(), 1);
+        assert_eq!(lifetimes[0].text, "'static");
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* outer /* inner */ still comment */ fn x() {}";
+        assert_eq!(idents(src), vec!["fn", "x"]);
+    }
+
+    #[test]
+    fn lines_are_tracked() {
+        let src = "a\nb\n  c";
+        let l = lex(src);
+        assert_eq!(l.tokens[0].line, 1);
+        assert_eq!(l.tokens[1].line, 2);
+        assert_eq!(l.tokens[2].line, 3);
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges() {
+        let src = "for i in 0..10 { x(1.5); }";
+        let toks = lex(src);
+        let nums: Vec<_> =
+            toks.tokens.iter().filter(|t| t.kind == TokKind::Num).map(|t| &t.text).collect();
+        assert_eq!(nums, vec!["0", "10", "1.5"]);
+    }
+
+    #[test]
+    fn char_literal_vs_lifetime_disambiguation() {
+        let src = "let a = 'x'; fn f<'a>(v: &'a u32) {}";
+        let l = lex(src);
+        let lits = l.tokens.iter().filter(|t| t.kind == TokKind::Lit).count();
+        let lifes = l.tokens.iter().filter(|t| t.kind == TokKind::Lifetime).count();
+        assert_eq!(lits, 1);
+        assert_eq!(lifes, 2);
+    }
+}

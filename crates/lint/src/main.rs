@@ -1,0 +1,68 @@
+//! `gcsm-lint` CLI. Walks the workspace and prints findings.
+//!
+//! ```text
+//! cargo run -p gcsm-lint            # human-readable, exit 1 on findings
+//! cargo run -p gcsm-lint -- --json  # machine-readable (CI artifact)
+//! cargo run -p gcsm-lint -- --root /path/to/workspace
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("error: --root requires a path argument");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                eprintln!("usage: gcsm-lint [--json] [--root <workspace>]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("error: unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = root.unwrap_or_else(|| {
+        // Default to the workspace root: the manifest dir's grandparent when
+        // run via `cargo run -p gcsm-lint`, else the current directory.
+        let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+        manifest.parent().and_then(|p| p.parent()).map(PathBuf::from).unwrap_or_else(|| ".".into())
+    });
+
+    let findings = match gcsm_lint::run(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: failed to walk workspace at {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        println!("{}", gcsm_lint::findings_to_json(&findings));
+    } else {
+        for f in &findings {
+            println!("{f}");
+        }
+        if findings.is_empty() {
+            eprintln!("gcsm-lint: clean ({} rules)", gcsm_lint::RULE_IDS.len());
+        } else {
+            eprintln!("gcsm-lint: {} finding(s)", findings.len());
+        }
+    }
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,37 @@
+//! `allow-syntax`: suppression comments must name a known rule and carry a
+//! `-- reason`. A malformed allow silently suppresses nothing, which is
+//! worse than a loud finding.
+
+use crate::{Finding, SourceFile, RULE_IDS};
+
+pub fn check(f: &SourceFile, out: &mut Vec<Finding>) {
+    for a in &f.allows {
+        if a.rules.is_empty() {
+            out.push(Finding {
+                rule: "allow-syntax",
+                file: f.path.clone(),
+                line: a.line,
+                message: "malformed suppression: expected lint:allow(rule-id) -- reason".into(),
+            });
+            continue;
+        }
+        for r in &a.rules {
+            if !RULE_IDS.contains(&r.as_str()) {
+                out.push(Finding {
+                    rule: "allow-syntax",
+                    file: f.path.clone(),
+                    line: a.line,
+                    message: format!("unknown rule id '{r}' in lint:allow"),
+                });
+            }
+        }
+        if !a.has_reason {
+            out.push(Finding {
+                rule: "allow-syntax",
+                file: f.path.clone(),
+                line: a.line,
+                message: "suppression without justification: append ' -- reason'".into(),
+            });
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! `no-debug-macros`: `todo!`, `unimplemented!`, and `dbg!` are banned
+//! workspace-wide, tests included — they are development scaffolding and
+//! must never be committed.
+
+use crate::lexer::TokKind;
+use crate::{Finding, SourceFile};
+
+const BANNED: &[&str] = &["todo", "unimplemented", "dbg"];
+
+pub fn check(f: &SourceFile, out: &mut Vec<Finding>) {
+    let toks = &f.lexed.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || !BANNED.contains(&t.text.as_str()) {
+            continue;
+        }
+        if toks.get(i + 1).map_or(true, |n| n.text != "!") {
+            continue;
+        }
+        // `name!` must be a macro invocation, not e.g. `a.todo != b`.
+        if toks.get(i + 2).map_or(true, |n| n.text == "=") {
+            continue;
+        }
+        if f.suppressed("no-debug-macros", t.line) {
+            continue;
+        }
+        out.push(Finding {
+            rule: "no-debug-macros",
+            file: f.path.clone(),
+            line: t.line,
+            message: format!("`{}!` is banned (development scaffolding)", t.text),
+        });
+    }
+}

@@ -1,0 +1,67 @@
+//! `hot-path-panic`: in the designated hot-path modules
+//! ([`crate::HOT_PATH_MODULES`] — the WCOJ kernels, the engines, and the
+//! delta cache), `unwrap()`, `expect()`, `panic!`, and bare slice indexing
+//! are banned outside `#[cfg(test)]` code. Kernels must stay panic-free:
+//! use `get`/`let-else` and push the error to the caller, or — when bounds
+//! are locally provable — suppress with a reason that states the proof.
+
+use crate::lexer::TokKind;
+use crate::{is_keyword, Finding, SourceFile, HOT_PATH_MODULES};
+
+fn in_scope(path: &str) -> bool {
+    HOT_PATH_MODULES.iter().any(|m| path == *m || path.starts_with(m))
+}
+
+pub fn check(f: &SourceFile, out: &mut Vec<Finding>) {
+    if !in_scope(&f.path) {
+        return;
+    }
+    let toks = &f.lexed.tokens;
+    let push = |line: u32, message: String, out: &mut Vec<Finding>| {
+        if !f.suppressed("hot-path-panic", line) {
+            out.push(Finding { rule: "hot-path-panic", file: f.path.clone(), line, message });
+        }
+    };
+    for (i, t) in toks.iter().enumerate() {
+        if f.test_mask.get(i).copied().unwrap_or(false) {
+            continue;
+        }
+        match t.text.as_str() {
+            "unwrap" | "expect"
+                if t.kind == TokKind::Ident
+                    && i > 0
+                    && toks[i - 1].text == "."
+                    && toks.get(i + 1).is_some_and(|n| n.text == "(") =>
+            {
+                push(
+                    t.line,
+                    format!("`.{}()` in hot path; return the error or use `get`", t.text),
+                    out,
+                );
+            }
+            "panic"
+                if t.kind == TokKind::Ident && toks.get(i + 1).is_some_and(|n| n.text == "!") =>
+            {
+                push(t.line, "`panic!` in hot path".into(), out);
+            }
+            "[" if i > 0 => {
+                let prev = &toks[i - 1];
+                let is_index = match prev.kind {
+                    TokKind::Ident => !is_keyword(&prev.text),
+                    TokKind::Punct => prev.text == "]" || prev.text == ")",
+                    _ => false,
+                };
+                if is_index {
+                    push(
+                        t.line,
+                        "bare slice indexing in hot path; use `get` or prove bounds and \
+                         suppress with a reason"
+                            .into(),
+                        out,
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+}

@@ -1,0 +1,480 @@
+//! `lock-order`: extract per-function `Mutex`/`RwLock` acquisition
+//! sequences, propagate them across the call graph, and report cycles in
+//! the resulting lock-order relation — the classic potential-deadlock
+//! shape in the session/worker paths.
+//!
+//! Model (token-level, necessarily approximate — suppress with a reason
+//! when it misfires):
+//!
+//! * A lock's identity is `crate::receiver` — the identifier the guard
+//!   method is called on, qualified by the crate it is acquired in.
+//! * `.lock()` with no arguments is always an acquisition; `.read()` /
+//!   `.write()` with no arguments count only when the receiver matches a
+//!   declared `Mutex`/`RwLock` binding somewhere in the workspace (so
+//!   `io::Read`/`Write` never match).
+//! * A guard bound in a `let` statement is held until its block ends (or
+//!   until `drop(guard)`); a temporary guard (`x.lock().push(..)`) is held
+//!   to the end of its statement.
+//! * Calling a function that (transitively) acquires locks while holding
+//!   one orders the held lock before every lock the callee can take.
+//!
+//! Vendor shims are excluded: their `.lock()` calls implement the
+//! primitive rather than use it.
+
+use crate::{Finding, SourceFile};
+use std::collections::{BTreeMap, BTreeSet};
+
+#[derive(Clone, Debug)]
+enum Event {
+    Acquire { lock: String, line: u32, var: Option<String>, depth: usize },
+    Call { callee: String, line: u32 },
+    Release { var: String },
+    BlockClose { depth: usize },
+    StmtEnd,
+}
+
+struct FnBody {
+    file_idx: usize,
+    events: Vec<Event>,
+}
+
+/// An ordering edge `from → to`, with the site that witnessed it.
+#[derive(Clone, Debug)]
+struct Edge {
+    from: String,
+    to: String,
+    file: String,
+    line: u32,
+    via: Option<String>,
+}
+
+pub fn check(sources: &[SourceFile], out: &mut Vec<Finding>) {
+    let in_scope: Vec<&SourceFile> =
+        sources.iter().filter(|s| !s.path.starts_with("vendor/")).collect();
+
+    // Pass A: declared lock binding names (for read()/write() filtering).
+    let mut declared: BTreeSet<String> = BTreeSet::new();
+    for f in &in_scope {
+        collect_declared_locks(f, &mut declared);
+    }
+
+    // Pass B: function bodies → event sequences.
+    let mut fns: BTreeMap<String, Vec<FnBody>> = BTreeMap::new();
+    for (fi, f) in in_scope.iter().enumerate() {
+        for (name, events) in extract_functions(f, &declared) {
+            fns.entry(name).or_default().push(FnBody { file_idx: fi, events });
+        }
+    }
+
+    // Fixpoint: the set of locks each function may (transitively) acquire.
+    let mut may_acquire: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    loop {
+        let mut changed = false;
+        for (name, bodies) in &fns {
+            let mut set = may_acquire.get(name).cloned().unwrap_or_default();
+            let before = set.len();
+            for b in bodies {
+                for e in &b.events {
+                    match e {
+                        Event::Acquire { lock, .. } => {
+                            set.insert(lock.clone());
+                        }
+                        Event::Call { callee, .. } => {
+                            if let Some(cs) = may_acquire.get(callee) {
+                                set.extend(cs.iter().cloned());
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            if set.len() != before {
+                changed = true;
+            }
+            may_acquire.insert(name.clone(), set);
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Replay each body tracking held guards; emit ordering edges.
+    let mut edges: BTreeMap<(String, String), Edge> = BTreeMap::new();
+    for bodies in fns.values() {
+        for b in bodies {
+            let file = &in_scope[b.file_idx].path;
+            replay(&b.events, &may_acquire, file, &mut edges);
+        }
+    }
+
+    // Cycle detection over the lock-order digraph.
+    let mut adj: BTreeMap<&str, Vec<&Edge>> = BTreeMap::new();
+    for e in edges.values() {
+        adj.entry(e.from.as_str()).or_default().push(e);
+    }
+    let mut reported: BTreeSet<Vec<String>> = BTreeSet::new();
+    for start in adj.keys().copied().collect::<Vec<_>>() {
+        find_cycles(start, &adj, &mut Vec::new(), &mut BTreeSet::new(), &mut reported, |cycle| {
+            emit_cycle(cycle, &edges, &in_scope, out);
+        });
+    }
+}
+
+/// Record `X` for every `X: Mutex<…>` / `X = RwLock::new(…)`-shaped
+/// declaration (through `Arc<…>` wrappers and path prefixes).
+fn collect_declared_locks(f: &SourceFile, out: &mut BTreeSet<String>) {
+    let toks = &f.lexed.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if t.text != "Mutex" && t.text != "RwLock" {
+            continue;
+        }
+        let next_is_generic = toks.get(i + 1).is_some_and(|n| n.text == "<");
+        let next_is_new = toks.get(i + 1).is_some_and(|n| n.text == ":")
+            && toks.get(i + 2).is_some_and(|n| n.text == ":")
+            && toks.get(i + 3).is_some_and(|n| n.text == "new");
+        if !next_is_generic && !next_is_new {
+            continue;
+        }
+        // Walk back over wrapper idents / path punctuation to the binding.
+        let mut j = i;
+        while j > 0 {
+            let p = &toks[j - 1];
+            let skip = matches!(p.text.as_str(), "<" | ":" | "Arc" | "Box" | "std" | "sync")
+                || p.text == "parking_lot";
+            if !skip {
+                break;
+            }
+            j -= 1;
+        }
+        if j == 0 {
+            continue;
+        }
+        let before = &toks[j - 1];
+        if before.text == "=" {
+            // `name = Mutex::new(..)` or `let name = Arc::new(Mutex::new(..))`.
+            if j >= 2 {
+                out.insert(toks[j - 2].text.clone());
+            }
+        } else if crate::lexer::TokKind::Ident == before.kind && !crate::is_keyword(&before.text) {
+            out.insert(before.text.clone());
+        }
+    }
+}
+
+fn crate_of(path: &str) -> &str {
+    let mut parts = path.split('/');
+    match parts.next() {
+        Some("crates") => parts.next().unwrap_or("crates"),
+        Some(top) => top,
+        None => path,
+    }
+}
+
+/// Extract `(fn name, events)` for each function item in the file.
+fn extract_functions(f: &SourceFile, declared: &BTreeSet<String>) -> Vec<(String, Vec<Event>)> {
+    let toks = &f.lexed.tokens;
+    let krate = crate_of(&f.path).to_string();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].text != "fn" || toks.get(i + 1).map_or(true, |n| n.text == "(") {
+            i += 1;
+            continue;
+        }
+        let name = toks[i + 1].text.clone();
+        // Find the body braces (or `;` for a trait method signature).
+        let mut k = i + 2;
+        let mut angle = 0i32;
+        while k < toks.len() {
+            match toks[k].text.as_str() {
+                "<" => angle += 1,
+                ">" => angle -= 1,
+                "{" if angle <= 0 => break,
+                ";" if angle <= 0 => break,
+                _ => {}
+            }
+            k += 1;
+        }
+        if toks.get(k).map_or(true, |t| t.text != "{") {
+            i = k;
+            continue;
+        }
+        let body_start = k;
+        let mut depth = 0usize;
+        let mut end = k;
+        while end < toks.len() {
+            match toks[end].text.as_str() {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            end += 1;
+        }
+        let events = scan_body(f, &krate, declared, body_start, end.min(toks.len()));
+        out.push((name, events));
+        i = end + 1;
+    }
+    out
+}
+
+/// Scan one body's tokens into the event sequence the replay consumes.
+fn scan_body(
+    f: &SourceFile,
+    krate: &str,
+    declared: &BTreeSet<String>,
+    start: usize,
+    end: usize,
+) -> Vec<Event> {
+    let toks = &f.lexed.tokens;
+    let mut events = Vec::new();
+    let mut depth = 0usize;
+    let mut stmt_let_var: Option<String> = None;
+    let mut i = start;
+    while i < end {
+        let t = &toks[i];
+        match t.text.as_str() {
+            "{" => {
+                depth += 1;
+                stmt_let_var = None;
+                events.push(Event::StmtEnd);
+            }
+            "}" => {
+                depth = depth.saturating_sub(1);
+                stmt_let_var = None;
+                events.push(Event::StmtEnd);
+                events.push(Event::BlockClose { depth });
+            }
+            ";" => {
+                stmt_let_var = None;
+                events.push(Event::StmtEnd);
+            }
+            "let" => {
+                // `let [mut] name = …`: the guard binding drop() can name.
+                let mut k = i + 1;
+                if toks.get(k).is_some_and(|n| n.text == "mut") {
+                    k += 1;
+                }
+                stmt_let_var = toks
+                    .get(k)
+                    .filter(|n| n.kind == crate::lexer::TokKind::Ident)
+                    .map(|n| n.text.clone());
+            }
+            "lock" | "read" | "write"
+                if i > start
+                    && toks[i - 1].text == "."
+                    && toks.get(i + 1).is_some_and(|n| n.text == "(")
+                    && toks.get(i + 2).is_some_and(|n| n.text == ")") =>
+            {
+                if let Some(recv) = receiver_name(toks, i - 1, start) {
+                    let counts = t.text == "lock" || declared.contains(&recv);
+                    if counts {
+                        events.push(Event::Acquire {
+                            lock: format!("{krate}::{recv}"),
+                            line: t.line,
+                            var: stmt_let_var.clone(),
+                            depth,
+                        });
+                    }
+                }
+            }
+            "drop"
+                if toks.get(i + 1).is_some_and(|n| n.text == "(")
+                    && toks.get(i + 2).is_some_and(|n| n.kind == crate::lexer::TokKind::Ident)
+                    && toks.get(i + 3).is_some_and(|n| n.text == ")") =>
+            {
+                events.push(Event::Release { var: toks[i + 2].text.clone() });
+            }
+            name if toks[i].kind == crate::lexer::TokKind::Ident
+                && !crate::is_keyword(name)
+                && name != "lock"
+                && name != "read"
+                && name != "write"
+                && name != "drop"
+                && toks.get(i + 1).is_some_and(|n| n.text == "(") =>
+            {
+                events.push(Event::Call { callee: name.to_string(), line: t.line });
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    events
+}
+
+/// The identifier a method-call chain dereferences: for `x.lock()` the token
+/// before the `.`; through `]`/`)` groups (`shards[i].lock()`,
+/// `cache().lock()`) the identifier before the group.
+fn receiver_name(toks: &[crate::lexer::Token], dot: usize, floor: usize) -> Option<String> {
+    let mut j = dot;
+    loop {
+        if j <= floor {
+            return None;
+        }
+        j -= 1;
+        let t = &toks[j];
+        match t.text.as_str() {
+            "]" | ")" => {
+                let (open, close) = if t.text == "]" { ("[", "]") } else { ("(", ")") };
+                let mut depth = 1usize;
+                while depth > 0 {
+                    if j <= floor {
+                        return None;
+                    }
+                    j -= 1;
+                    if toks[j].text == close {
+                        depth += 1;
+                    } else if toks[j].text == open {
+                        depth -= 1;
+                    }
+                }
+            }
+            _ if t.kind == crate::lexer::TokKind::Ident => {
+                // `a.b.lock()` names the innermost field `b`; `self` alone
+                // is too generic to be a lock identity.
+                if t.text == "self" {
+                    return None;
+                }
+                return Some(t.text.clone());
+            }
+            _ => return None,
+        }
+    }
+}
+
+/// Walk a body's events with a held-guard stack, adding ordering edges.
+fn replay(
+    events: &[Event],
+    may_acquire: &BTreeMap<String, BTreeSet<String>>,
+    file: &str,
+    edges: &mut BTreeMap<(String, String), Edge>,
+) {
+    // (lock, guard variable if let-bound, Some(block depth) if let-bound
+    // else None-until-stmt-end)
+    let mut held: Vec<(String, Option<String>, Option<usize>)> = Vec::new();
+    let mut add_edge = |from: &str, to: &str, line: u32, via: Option<String>| {
+        if from == to && via.is_some() {
+            // Re-entry through a call is only a hazard if the callee's
+            // acquisition is unconditional — too speculative at token level.
+            return;
+        }
+        edges.entry((from.to_string(), to.to_string())).or_insert_with(|| Edge {
+            from: from.to_string(),
+            to: to.to_string(),
+            file: file.to_string(),
+            line,
+            via,
+        });
+    };
+    for e in events {
+        match e {
+            Event::Acquire { lock, line, var, depth } => {
+                for (h, _, _) in &held {
+                    add_edge(h, lock, *line, None);
+                }
+                held.push((lock.clone(), var.clone(), var.is_some().then_some(*depth)));
+            }
+            Event::Call { callee, line, .. } => {
+                if held.is_empty() {
+                    continue;
+                }
+                if let Some(locks) = may_acquire.get(callee) {
+                    for (h, _, _) in &held {
+                        for l in locks {
+                            add_edge(h, l, *line, Some(callee.clone()));
+                        }
+                    }
+                }
+            }
+            Event::Release { var } => held.retain(|(_, v, _)| v.as_deref() != Some(var)),
+            Event::StmtEnd => held.retain(|(_, _, d)| d.is_some()),
+            Event::BlockClose { depth } => {
+                held.retain(|(_, _, d)| d.is_some_and(|bd| bd < *depth + 1));
+            }
+        }
+    }
+}
+
+/// DFS from `start`; invoke `emit` once per canonicalized cycle.
+fn find_cycles<'a>(
+    start: &'a str,
+    adj: &BTreeMap<&'a str, Vec<&'a Edge>>,
+    path: &mut Vec<&'a str>,
+    visiting: &mut BTreeSet<&'a str>,
+    reported: &mut BTreeSet<Vec<String>>,
+    mut emit: impl FnMut(&[&str]),
+) {
+    fn inner<'a>(
+        node: &'a str,
+        adj: &BTreeMap<&'a str, Vec<&'a Edge>>,
+        path: &mut Vec<&'a str>,
+        visiting: &mut BTreeSet<&'a str>,
+        reported: &mut BTreeSet<Vec<String>>,
+        emit: &mut impl FnMut(&[&str]),
+    ) {
+        path.push(node);
+        visiting.insert(node);
+        for e in adj.get(node).map(|v| v.as_slice()).unwrap_or(&[]) {
+            let to = e.to.as_str();
+            if let Some(pos) = path.iter().position(|&n| n == to) {
+                let cycle: Vec<&str> = path[pos..].to_vec();
+                let mut canon: Vec<String> = cycle.iter().map(|s| s.to_string()).collect();
+                canon.sort();
+                if reported.insert(canon) {
+                    emit(&cycle);
+                }
+            } else if !visiting.contains(to) && path.len() < 32 {
+                inner(to, adj, path, visiting, reported, emit);
+            }
+        }
+        path.pop();
+        visiting.remove(node);
+    }
+    inner(start, adj, path, visiting, reported, &mut emit);
+}
+
+fn emit_cycle(
+    cycle: &[&str],
+    edges: &BTreeMap<(String, String), Edge>,
+    sources: &[&SourceFile],
+    out: &mut Vec<Finding>,
+) {
+    let mut sites = Vec::new();
+    for w in 0..cycle.len() {
+        let from = cycle[w];
+        let to = cycle[(w + 1) % cycle.len()];
+        if let Some(e) = edges.get(&(from.to_string(), to.to_string())) {
+            let via = e.via.as_ref().map(|v| format!(" via {v}()")).unwrap_or_default();
+            sites.push(format!("{} → {} at {}:{}{}", from, to, e.file, e.line, via));
+        }
+    }
+    // Suppressible at any participating edge's line.
+    let first = cycle
+        .first()
+        .and_then(|f| edges.get(&(f.to_string(), cycle.get(1).unwrap_or(f).to_string())));
+    let (file, line) = match first {
+        Some(e) => (e.file.clone(), e.line),
+        None => return,
+    };
+    for w in 0..cycle.len() {
+        let from = cycle[w];
+        let to = cycle[(w + 1) % cycle.len()];
+        if let Some(e) = edges.get(&(from.to_string(), to.to_string())) {
+            if let Some(src) = sources.iter().find(|s| s.path == e.file) {
+                if src.suppressed("lock-order", e.line) {
+                    return;
+                }
+            }
+        }
+    }
+    out.push(Finding {
+        rule: "lock-order",
+        file,
+        line,
+        message: format!("lock acquisition order cycle (potential deadlock): {}", sites.join("; ")),
+    });
+}

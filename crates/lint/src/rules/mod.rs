@@ -1,0 +1,14 @@
+//! The rule catalogue. Each rule module exposes
+//! `check(&SourceFile, &mut Vec<Finding>)` (or a cross-file / filesystem
+//! variant) and pushes suppression-filtered findings. Adding a rule:
+//! write the module, add its id to [`crate::RULE_IDS`], call it from
+//! [`crate::lint_project`] (or [`crate::run`] for filesystem rules), and add
+//! one firing + one clean fixture under `tests/fixtures/`.
+
+pub mod allow_syntax;
+pub mod debug_macros;
+pub mod hot_path;
+pub mod lock_order;
+pub mod relaxed;
+pub mod unsafe_doc;
+pub mod vendor_pin;

@@ -1,0 +1,42 @@
+//! `relaxed-justify`: `Ordering::Relaxed` in the stream subsystem and
+//! `gcsm-graph` ([`crate::RELAXED_SCOPES`]) must carry an inline
+//! justification — a comment containing `Relaxed:` on the same line or
+//! directly above — explaining why no ordering is required. The stream
+//! determinism contract (PR 1) makes unexamined relaxed atomics a real
+//! hazard there; elsewhere (counters in gpusim, matcher access telemetry)
+//! relaxed is the obviously-right default and stays unpoliced.
+
+use crate::{Finding, SourceFile, RELAXED_SCOPES};
+
+fn in_scope(path: &str) -> bool {
+    RELAXED_SCOPES.iter().any(|m| path == *m || path.starts_with(m))
+}
+
+pub fn check(f: &SourceFile, out: &mut Vec<Finding>) {
+    if !in_scope(&f.path) {
+        return;
+    }
+    let toks = &f.lexed.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if t.text != "Relaxed" || f.test_mask.get(i).copied().unwrap_or(false) {
+            continue;
+        }
+        // Require the `Ordering::Relaxed` (or `atomic::Ordering::Relaxed`)
+        // path shape: `Relaxed` preceded by `::`.
+        if i < 2 || toks[i - 1].text != ":" || toks[i - 2].text != ":" {
+            continue;
+        }
+        if f.justified_by("Relaxed:", t.line) {
+            continue;
+        }
+        if f.suppressed("relaxed-justify", t.line) {
+            continue;
+        }
+        out.push(Finding {
+            rule: "relaxed-justify",
+            file: f.path.clone(),
+            line: t.line,
+            message: "`Ordering::Relaxed` without a `// Relaxed: …` justification".into(),
+        });
+    }
+}

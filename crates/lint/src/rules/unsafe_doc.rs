@@ -1,0 +1,27 @@
+//! `unsafe-doc`: every `unsafe` block, fn, trait, or impl must be preceded
+//! by a `// SAFETY:` comment stating why the invariants hold (on the same
+//! line or the comment run directly above). Applies everywhere, tests and
+//! vendor shims included — an undocumented unsafe is never acceptable.
+
+use crate::lexer::TokKind;
+use crate::{Finding, SourceFile};
+
+pub fn check(f: &SourceFile, out: &mut Vec<Finding>) {
+    for t in &f.lexed.tokens {
+        if t.kind != TokKind::Ident || t.text != "unsafe" {
+            continue;
+        }
+        if f.justified_by("SAFETY:", t.line) {
+            continue;
+        }
+        if f.suppressed("unsafe-doc", t.line) {
+            continue;
+        }
+        out.push(Finding {
+            rule: "unsafe-doc",
+            file: f.path.clone(),
+            line: t.line,
+            message: "`unsafe` without a preceding `// SAFETY:` comment".into(),
+        });
+    }
+}

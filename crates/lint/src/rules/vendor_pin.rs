@@ -1,0 +1,147 @@
+//! `vendor-pin`: every vendored shim crate (`vendor/*/Cargo.toml`) must
+//! appear in the workspace `Cargo.lock` at exactly its manifest version.
+//! Drift here means the lockfile was regenerated against a registry crate
+//! (or the shim was bumped without `cargo update`), silently changing what
+//! the offline build actually compiles.
+
+use crate::Finding;
+use std::path::Path;
+
+pub fn check(root: &Path, out: &mut Vec<Finding>) {
+    let lock_src = match std::fs::read_to_string(root.join("Cargo.lock")) {
+        Ok(s) => s,
+        Err(_) => {
+            out.push(Finding {
+                rule: "vendor-pin",
+                file: "Cargo.lock".into(),
+                line: 1,
+                message: "Cargo.lock missing; vendored versions cannot be verified".into(),
+            });
+            return;
+        }
+    };
+    let locked = parse_lock(&lock_src);
+
+    let vendor_dir = root.join("vendor");
+    let Ok(entries) = std::fs::read_dir(&vendor_dir) else { return };
+    let mut dirs: Vec<_> = entries.flatten().map(|e| e.path()).filter(|p| p.is_dir()).collect();
+    dirs.sort();
+    for dir in dirs {
+        let manifest = dir.join("Cargo.toml");
+        let Ok(src) = std::fs::read_to_string(&manifest) else { continue };
+        let rel = format!(
+            "vendor/{}/Cargo.toml",
+            dir.file_name().map(|n| n.to_string_lossy().to_string()).unwrap_or_default()
+        );
+        let Some((name, version, line)) = parse_package(&src) else {
+            out.push(Finding {
+                rule: "vendor-pin",
+                file: rel,
+                line: 1,
+                message: "could not parse [package] name/version from vendored manifest".into(),
+            });
+            continue;
+        };
+        let versions: Vec<&str> =
+            locked.iter().filter(|(n, _)| *n == name).map(|(_, v)| v.as_str()).collect();
+        if versions.is_empty() {
+            out.push(Finding {
+                rule: "vendor-pin",
+                file: rel,
+                line,
+                message: format!("vendored crate `{name}` is absent from Cargo.lock"),
+            });
+        } else if !versions.contains(&version.as_str()) {
+            out.push(Finding {
+                rule: "vendor-pin",
+                file: rel,
+                line,
+                message: format!(
+                    "vendored crate `{name}` pins {version} but Cargo.lock records {}",
+                    versions.join(", ")
+                ),
+            });
+        }
+    }
+}
+
+/// `[[package]]` blocks of a Cargo.lock → `(name, version)` pairs.
+fn parse_lock(src: &str) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    let mut in_pkg = false;
+    let mut name: Option<String> = None;
+    for line in src.lines() {
+        let line = line.trim();
+        if line.starts_with("[[") {
+            in_pkg = line == "[[package]]";
+            name = None;
+            continue;
+        }
+        if !in_pkg {
+            continue;
+        }
+        if let Some(v) = toml_str_value(line, "name") {
+            name = Some(v);
+        } else if let Some(v) = toml_str_value(line, "version") {
+            if let Some(n) = name.take() {
+                out.push((n, v));
+            }
+        }
+    }
+    out
+}
+
+/// `[package]` name + version (and the version key's 1-based line) from a
+/// vendored crate manifest.
+fn parse_package(src: &str) -> Option<(String, String, u32)> {
+    let mut in_package = false;
+    let mut name = None;
+    let mut version = None;
+    let mut version_line = 1u32;
+    for (i, raw) in src.lines().enumerate() {
+        let line = raw.trim();
+        if line.starts_with('[') {
+            in_package = line == "[package]";
+            continue;
+        }
+        if !in_package {
+            continue;
+        }
+        if let Some(v) = toml_str_value(line, "name") {
+            name = Some(v);
+        } else if let Some(v) = toml_str_value(line, "version") {
+            version = Some(v);
+            version_line = (i + 1) as u32;
+        }
+    }
+    Some((name?, version?, version_line))
+}
+
+/// `key = "value"` → `value` (the only TOML shape Cargo emits for these keys).
+fn toml_str_value(line: &str, key: &str) -> Option<String> {
+    let rest = line.strip_prefix(key)?.trim_start();
+    let rest = rest.strip_prefix('=')?.trim_start();
+    let rest = rest.strip_prefix('"')?;
+    rest.find('"').map(|end| rest[..end].to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_parse_pairs() {
+        let lock = "[[package]]\nname = \"a\"\nversion = \"1.2.3\"\n\n[[package]]\nname = \"b\"\nversion = \"0.1.0\"\n";
+        assert_eq!(
+            parse_lock(lock),
+            vec![("a".into(), "1.2.3".into()), ("b".into(), "0.1.0".into())]
+        );
+    }
+
+    #[test]
+    fn manifest_parse_ignores_dependencies_section() {
+        let m = "[package]\nname = \"shim\"\nversion = \"0.8.99\"\n\n[dependencies]\nother = { version = \"9.9\" }\n";
+        let (n, v, line) = parse_package(m).expect("parses");
+        assert_eq!((n.as_str(), v.as_str(), line), ("shim", "0.8.99", 3));
+    }
+}

@@ -1,0 +1,145 @@
+//! Golden fixture tests: each rule has at least one firing fixture and one
+//! clean fixture under `tests/fixtures/`. Fixtures are linted under a
+//! pseudo-path that places them in the relevant rule's scope.
+
+use gcsm_lint::{lint_file, Finding};
+use std::path::Path;
+
+fn fixture(name: &str) -> String {
+    let p = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name);
+    std::fs::read_to_string(&p).unwrap_or_else(|e| panic!("read fixture {}: {e}", p.display()))
+}
+
+fn rules_fired(findings: &[Finding]) -> Vec<&'static str> {
+    let mut rules: Vec<&'static str> = findings.iter().map(|f| f.rule).collect();
+    rules.sort_unstable();
+    rules.dedup();
+    rules
+}
+
+#[test]
+fn unsafe_doc_fires_and_clean() {
+    let f = lint_file("crates/gpusim/src/fx.rs", &fixture("unsafe_doc_fires.rs"));
+    assert_eq!(rules_fired(&f), vec!["unsafe-doc"], "{f:?}");
+    assert_eq!(f[0].line, 3);
+    let c = lint_file("crates/gpusim/src/fx.rs", &fixture("unsafe_doc_clean.rs"));
+    assert!(c.is_empty(), "{c:?}");
+}
+
+#[test]
+fn hot_path_fires_and_clean() {
+    let hot = "crates/matcher/src/enumerate.rs";
+    let f = lint_file(hot, &fixture("hot_path_fires.rs"));
+    assert_eq!(rules_fired(&f), vec!["hot-path-panic"], "{f:?}");
+    // unwrap, panic!, bare index, expect — four distinct sites.
+    assert_eq!(f.len(), 4, "{f:?}");
+    let c = lint_file(hot, &fixture("hot_path_clean.rs"));
+    assert!(c.is_empty(), "{c:?}");
+}
+
+#[test]
+fn hot_path_rule_is_scoped() {
+    // The same violating source outside the hot-path scope is clean.
+    let f = lint_file("crates/gpusim/src/fx.rs", &fixture("hot_path_fires.rs"));
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn relaxed_fires_and_clean() {
+    let scope = "crates/core/src/stream/fx.rs";
+    let f = lint_file(scope, &fixture("relaxed_fires.rs"));
+    assert_eq!(rules_fired(&f), vec!["relaxed-justify"], "{f:?}");
+    let c = lint_file(scope, &fixture("relaxed_clean.rs"));
+    assert!(c.is_empty(), "{c:?}");
+    // Out of scope: unjustified Relaxed is fine elsewhere.
+    let o = lint_file("crates/gpusim/src/fx.rs", &fixture("relaxed_fires.rs"));
+    assert!(o.is_empty(), "{o:?}");
+}
+
+#[test]
+fn lock_order_fires_direct_and_via_call() {
+    let f = lint_file("crates/gpusim/src/fx.rs", &fixture("lock_order_fires.rs"));
+    assert_eq!(rules_fired(&f), vec!["lock-order"], "{f:?}");
+    assert!(f[0].message.contains("alpha") && f[0].message.contains("beta"), "{f:?}");
+    let g = lint_file("crates/gpusim/src/fx.rs", &fixture("lock_order_call_fires.rs"));
+    assert_eq!(rules_fired(&g), vec!["lock-order"], "{g:?}");
+    assert!(g[0].message.contains("via touch_beta()"), "{g:?}");
+}
+
+#[test]
+fn lock_order_clean_orders() {
+    let c = lint_file("crates/gpusim/src/fx.rs", &fixture("lock_order_clean.rs"));
+    assert!(c.is_empty(), "{c:?}");
+}
+
+#[test]
+fn debug_macros_fire_and_clean() {
+    let f = lint_file("crates/gpusim/src/fx.rs", &fixture("debug_macros_fires.rs"));
+    assert_eq!(rules_fired(&f), vec!["no-debug-macros"], "{f:?}");
+    // todo!, unimplemented!, and dbg! (inside a test — still banned).
+    assert_eq!(f.len(), 3, "{f:?}");
+    let c = lint_file("crates/gpusim/src/fx.rs", &fixture("debug_macros_clean.rs"));
+    assert!(c.is_empty(), "{c:?}");
+}
+
+#[test]
+fn allow_syntax_fires_and_clean() {
+    let f = lint_file("crates/gpusim/src/fx.rs", &fixture("allow_syntax_fires.rs"));
+    assert_eq!(rules_fired(&f), vec!["allow-syntax"], "{f:?}");
+    assert!(f.len() >= 3, "unknown id + missing reason + malformed: {f:?}");
+    let c = lint_file("crates/gpusim/src/fx.rs", &fixture("allow_syntax_clean.rs"));
+    assert!(c.is_empty(), "{c:?}");
+}
+
+#[test]
+fn vendor_pin_detects_drift_and_absence() {
+    use std::fs;
+    let base = std::env::temp_dir().join(format!("gcsm-lint-vendor-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&base);
+    fs::create_dir_all(base.join("vendor/shim")).expect("mkdir");
+    fs::write(
+        base.join("vendor/shim/Cargo.toml"),
+        "[package]\nname = \"shim\"\nversion = \"0.2.0\"\n",
+    )
+    .expect("write manifest");
+
+    // Matching lockfile: clean.
+    fs::write(
+        base.join("Cargo.lock"),
+        "version = 3\n\n[[package]]\nname = \"shim\"\nversion = \"0.2.0\"\n",
+    )
+    .expect("write lock");
+    let mut findings = Vec::new();
+    gcsm_lint::rules::vendor_pin::check(&base, &mut findings);
+    assert!(findings.is_empty(), "{findings:?}");
+
+    // Version drift: fires.
+    fs::write(
+        base.join("Cargo.lock"),
+        "version = 3\n\n[[package]]\nname = \"shim\"\nversion = \"0.3.1\"\n",
+    )
+    .expect("write lock");
+    let mut findings = Vec::new();
+    gcsm_lint::rules::vendor_pin::check(&base, &mut findings);
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert_eq!(findings[0].rule, "vendor-pin");
+    assert!(findings[0].message.contains("0.2.0") && findings[0].message.contains("0.3.1"));
+
+    // Absent from the lockfile entirely: fires.
+    fs::write(base.join("Cargo.lock"), "version = 3\n").expect("write lock");
+    let mut findings = Vec::new();
+    gcsm_lint::rules::vendor_pin::check(&base, &mut findings);
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert!(findings[0].message.contains("absent"));
+
+    let _ = fs::remove_dir_all(&base);
+}
+
+#[test]
+fn json_output_shape() {
+    let f = lint_file("crates/matcher/src/enumerate.rs", &fixture("hot_path_fires.rs"));
+    let json = gcsm_lint::findings_to_json(&f);
+    assert!(json.starts_with("{\"findings\":["));
+    assert!(json.contains("\"rule\":\"hot-path-panic\""));
+    assert!(json.ends_with(&format!("\"count\":{}}}", f.len())));
+}

@@ -1,0 +1,10 @@
+// Fixture: well-formed suppressions (single and multi-rule) are clean.
+pub fn a(xs: &[u32]) -> u32 {
+    // lint:allow(hot-path-panic) -- fixture: length checked by caller
+    xs.len() as u32
+}
+
+// lint:allow(hot-path-panic, lock-order) -- fixture: multi-rule form
+pub fn b(xs: &[u32]) -> u32 {
+    xs.len() as u32
+}

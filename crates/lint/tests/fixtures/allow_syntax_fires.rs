@@ -1,0 +1,14 @@
+// Fixture: malformed suppressions must fire `allow-syntax`.
+pub fn a(xs: &[u32]) -> u32 {
+    // lint:allow(bogus-rule) -- unknown rule id
+    xs.len() as u32
+}
+
+pub fn b(xs: &[u32]) -> u32 {
+    xs.len() as u32 // lint:allow(hot-path-panic)
+}
+
+pub fn c(xs: &[u32]) -> u32 {
+    // lint:allow missing parens entirely
+    xs.len() as u32
+}

@@ -1,0 +1,9 @@
+// Fixture: ordinary idents named like the macros, and `!=` comparisons,
+// are clean.
+pub struct Task {
+    pub todo: bool,
+}
+
+pub fn check(t: &Task, other: &Task) -> bool {
+    t.todo != other.todo
+}

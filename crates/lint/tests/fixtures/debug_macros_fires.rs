@@ -1,0 +1,18 @@
+// Fixture: development scaffolding macros must fire `no-debug-macros`,
+// tests included.
+pub fn later() {
+    todo!("wire this up")
+}
+
+pub fn never() {
+    unimplemented!()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn peek() {
+        let x = 1;
+        dbg!(x);
+    }
+}

@@ -1,0 +1,20 @@
+// Fixture: `get`-based access, `unwrap_or`, suppressed indexing, and
+// test-only code are all clean in a hot-path module.
+pub fn pick(xs: &[u32], i: usize) -> u32 {
+    let Some(&first) = xs.first() else { return 0 };
+    first + xs.get(i).copied().unwrap_or(0)
+}
+
+pub fn head(xs: &[u32]) -> u32 {
+    // lint:allow(hot-path-panic) -- fixture: caller checked non-empty
+    xs[0]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_panic() {
+        let xs = [1u32];
+        assert_eq!(xs[0], *xs.first().unwrap());
+    }
+}

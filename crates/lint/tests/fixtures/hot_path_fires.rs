@@ -1,0 +1,11 @@
+// Fixture: panics and bare indexing in a hot-path module must fire
+// `hot-path-panic` (linted under a hot-path pseudo-path).
+pub fn pick(xs: &[u32], i: usize) -> u32 {
+    let first = xs.first().unwrap();
+    if *first == 0 {
+        panic!("zero head");
+    }
+    let direct = xs[i];
+    let chained = xs.get(i).expect("in range");
+    direct + chained
+}

@@ -1,0 +1,23 @@
+// Fixture: a cycle closed through the call graph (hold `alpha`, call a
+// helper that takes `beta`; elsewhere `beta` is held before `alpha`) must
+// fire `lock-order`.
+use std::sync::Mutex;
+
+pub struct S {
+    pub alpha: Mutex<u32>,
+    pub beta: Mutex<u32>,
+}
+
+fn touch_beta(s: &S) {
+    let _g = s.beta.lock();
+}
+
+pub fn alpha_then_helper(s: &S) {
+    let _ga = s.alpha.lock();
+    touch_beta(s);
+}
+
+pub fn beta_then_alpha(s: &S) {
+    let _gb = s.beta.lock();
+    let _ga = s.alpha.lock();
+}

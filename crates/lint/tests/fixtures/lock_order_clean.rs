@@ -1,0 +1,30 @@
+// Fixture: consistent acquisition order, statement-scoped temporaries, and
+// explicit `drop` before re-acquisition are all clean.
+use std::sync::Mutex;
+
+pub struct S {
+    pub alpha: Mutex<u32>,
+    pub beta: Mutex<u32>,
+}
+
+pub fn forward(s: &S) {
+    let _ga = s.alpha.lock();
+    let _gb = s.beta.lock();
+}
+
+pub fn forward_again(s: &S) {
+    let _ga = s.alpha.lock();
+    let _gb = s.beta.lock();
+}
+
+pub fn sequential(s: &S) {
+    // Temporary guards end with their statements: no nesting here.
+    *s.beta.lock().unwrap() += 1;
+    *s.alpha.lock().unwrap() += 1;
+}
+
+pub fn dropped(s: &S) {
+    let gb = s.beta.lock();
+    drop(gb);
+    let _ga = s.alpha.lock();
+}

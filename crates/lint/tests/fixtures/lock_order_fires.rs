@@ -1,0 +1,18 @@
+// Fixture: two functions taking the same pair of locks in opposite orders
+// must fire `lock-order`.
+use std::sync::Mutex;
+
+pub struct S {
+    pub alpha: Mutex<u32>,
+    pub beta: Mutex<u32>,
+}
+
+pub fn forward(s: &S) {
+    let _ga = s.alpha.lock();
+    let _gb = s.beta.lock();
+}
+
+pub fn backward(s: &S) {
+    let _gb = s.beta.lock();
+    let _ga = s.alpha.lock();
+}

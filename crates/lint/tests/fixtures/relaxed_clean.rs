@@ -1,0 +1,12 @@
+// Fixture: justified `Ordering::Relaxed` is clean; other orderings are
+// never flagged.
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub fn bump(c: &AtomicUsize) {
+    // Relaxed: advisory statistics counter; no ordering needed (fixture).
+    c.fetch_add(1, Ordering::Relaxed);
+}
+
+pub fn publish(c: &AtomicUsize) {
+    c.store(1, Ordering::Release);
+}

@@ -1,0 +1,7 @@
+// Fixture: unjustified `Ordering::Relaxed` in a relaxed-scope module must
+// fire `relaxed-justify`.
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub fn bump(c: &AtomicUsize) {
+    c.fetch_add(1, Ordering::Relaxed);
+}

@@ -1,0 +1,8 @@
+// Fixture: documented unsafe is clean.
+pub fn read_raw(p: *const u32) -> u32 {
+    // SAFETY: caller guarantees `p` is valid and aligned (fixture contract).
+    unsafe { *p }
+}
+
+// SAFETY: same-line form also counts.
+pub unsafe fn same_line() {} // SAFETY: no-op body, nothing to uphold.

@@ -1,0 +1,4 @@
+// Fixture: `unsafe` without a SAFETY comment must fire `unsafe-doc`.
+pub fn read_raw(p: *const u32) -> u32 {
+    unsafe { *p }
+}

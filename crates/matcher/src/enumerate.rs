@@ -97,8 +97,12 @@ fn descend<S, F>(
         return;
     }
     // Split the candidate buffer out of `bufs` so the recursive call can
-    // still borrow the deeper buffers.
-    let (buf, rest) = bufs.split_first_mut().expect("scratch too shallow");
+    // still borrow the deeper buffers. `Scratch::for_plan` sizes `bufs` to
+    // `plan.levels.len()`, so a level in range always has a buffer.
+    let Some((buf, rest)) = bufs.split_first_mut() else {
+        debug_assert!(false, "scratch shallower than plan depth");
+        return;
+    };
     gen_candidates(src, plan, level, bound, algo, buf, cost, stats);
 
     let candidates = std::mem::take(buf);
@@ -147,15 +151,24 @@ pub fn gen_candidates<S: NeighborSource>(
     cost: &mut CostCounter,
     stats: &mut MatchStats,
 ) {
-    let lvl = &plan.levels[level];
+    let Some(lvl) = plan.levels.get(level) else {
+        debug_assert!(false, "gen_candidates level out of plan range");
+        out.clear();
+        return;
+    };
 
     // Access every constraint's view once per tree node (the paper's
     // execution-tree access model), pick the smallest as the base set.
+    // lint:allow(hot-path-panic) -- c.pos < level == bound.len() by plan construction
     let views: Vec<_> = lvl.constraints.iter().map(|c| src.view(bound[c.pos], c.view)).collect();
     stats.list_accesses += views.len() as u64;
 
-    let base = (0..views.len()).min_by_key(|&i| views[i].raw_len()).expect("no constraints");
-    materialize(&views[base], out, cost);
+    let Some((base, base_view)) = views.iter().enumerate().min_by_key(|(_, v)| v.raw_len()) else {
+        debug_assert!(false, "plan level with no constraints");
+        out.clear();
+        return;
+    };
+    materialize(base_view, out, cost);
     for (i, v) in views.iter().enumerate() {
         if i != base {
             filter_in_place(out, v, algo, cost);
@@ -170,7 +183,9 @@ pub fn gen_candidates<S: NeighborSource>(
     out.retain(|&cand| {
         src.label(cand) == lvl.label
             && !bound.contains(&cand)
+            // lint:allow(hot-path-panic) -- lt positions are < level == bound.len() by plan construction
             && lvl.lt.iter().all(|&p| cand < bound[p])
+            // lint:allow(hot-path-panic) -- gt positions are < level == bound.len() by plan construction
             && lvl.gt.iter().all(|&p| cand > bound[p])
     });
 }

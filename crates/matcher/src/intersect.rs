@@ -116,17 +116,17 @@ fn merge_run(cands: &[VertexId], run: &NeighborRun<'_>) -> Vec<VertexId> {
     let mut out = Vec::new();
     let (mut i, mut j) = (0, 0);
     let data = run.data;
-    while i < cands.len() && j < data.len() {
-        if run.skip_tombstones && is_tombstone(data[j]) {
+    while let (Some(&c), Some(&raw)) = (cands.get(i), data.get(j)) {
+        if run.skip_tombstones && is_tombstone(raw) {
             j += 1;
             continue;
         }
-        let d = decode_neighbor(data[j]);
-        match cands[i].cmp(&d) {
+        let d = decode_neighbor(raw);
+        match c.cmp(&d) {
             std::cmp::Ordering::Less => i += 1,
             std::cmp::Ordering::Greater => j += 1,
             std::cmp::Ordering::Equal => {
-                out.push(cands[i]);
+                out.push(c);
                 i += 1;
                 j += 1;
             }
@@ -187,15 +187,19 @@ fn blocked_run(cands: &[VertexId], run: &NeighborRun<'_>) -> Vec<VertexId> {
     let mut j = 0usize;
     for &c in cands {
         // Skip 4-entry blocks whose last element is still below c.
-        while j + 4 <= data.len() && decode_neighbor(data[j + 3]) < c {
-            j += 4;
+        while let Some(&block_last) = data.get(j + 3) {
+            if decode_neighbor(block_last) < c {
+                j += 4;
+            } else {
+                break;
+            }
         }
-        while j < data.len() {
-            let d = decode_neighbor(data[j]);
+        while let Some(&raw) = data.get(j) {
+            let d = decode_neighbor(raw);
             if d < c {
                 j += 1;
             } else {
-                if d == c && !(run.skip_tombstones && is_tombstone(data[j])) {
+                if d == c && !(run.skip_tombstones && is_tombstone(raw)) {
                     out.push(c);
                 }
                 break;

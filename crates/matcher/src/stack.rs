@@ -67,9 +67,14 @@ where
     }
 
     let mut cost = CostCounter::default();
-    // Enter level 0.
+    // Enter level 0. The resize above guarantees `frames.len() >= depth`,
+    // and `level` stays `< depth` throughout, so the frame lookups below
+    // cannot miss; `get_mut` + `debug_assert` keeps the kernel panic-free.
     {
-        let frame = &mut scratch.frames[0];
+        let Some(frame) = scratch.frames.first_mut() else {
+            debug_assert!(false, "frame stack empty at nonzero depth");
+            return stats;
+        };
         let mut cands = std::mem::take(&mut frame.cands);
         gen_candidates(src, plan, 0, &scratch.bound, algo, &mut cands, &mut cost, &mut stats);
         frame.cands = cands;
@@ -77,8 +82,11 @@ where
     }
     let mut level = 0usize;
     loop {
-        let frame = &mut scratch.frames[level];
-        if frame.cursor >= frame.cands.len() {
+        let Some(frame) = scratch.frames.get_mut(level) else {
+            debug_assert!(false, "level beyond frame stack");
+            break;
+        };
+        let Some(&cand) = frame.cands.get(frame.cursor) else {
             // Exhausted: backtrack.
             if level == 0 {
                 break;
@@ -86,8 +94,7 @@ where
             level -= 1;
             scratch.bound.pop();
             continue;
-        }
-        let cand = frame.cands[frame.cursor];
+        };
         frame.cursor += 1;
         if level + 1 == depth {
             // Innermost loop: output the match.
@@ -98,7 +105,10 @@ where
         } else {
             scratch.bound.push(cand);
             level += 1;
-            let frame = &mut scratch.frames[level];
+            let Some(frame) = scratch.frames.get_mut(level) else {
+                debug_assert!(false, "level beyond frame stack");
+                break;
+            };
             let mut cands = std::mem::take(&mut frame.cands);
             gen_candidates(
                 src,
@@ -110,7 +120,10 @@ where
                 &mut cost,
                 &mut stats,
             );
-            let frame = &mut scratch.frames[level];
+            let Some(frame) = scratch.frames.get_mut(level) else {
+                debug_assert!(false, "level beyond frame stack");
+                break;
+            };
             frame.cands = cands;
             frame.cursor = 0;
         }

@@ -1,0 +1,35 @@
+//! Tier-1 gate: `gcsm-lint` must report zero findings over the workspace.
+//! Any new violation either gets fixed or carries an inline
+//! `// lint:allow(rule-id) -- reason` with a real justification.
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root =
+        Path::new(env!("CARGO_MANIFEST_DIR")).parent().expect("workspace root").to_path_buf();
+    let findings = gcsm_lint::run(&root).expect("walk workspace");
+    assert!(
+        findings.is_empty(),
+        "gcsm-lint found {} violation(s):\n{}",
+        findings.len(),
+        findings.iter().map(|f| f.to_string()).collect::<Vec<_>>().join("\n")
+    );
+}
+
+#[test]
+fn rule_catalogue_is_stable() {
+    // The documented rule set (DESIGN.md §9) — extend deliberately, not by
+    // accident.
+    assert_eq!(
+        gcsm_lint::RULE_IDS,
+        [
+            "unsafe-doc",
+            "hot-path-panic",
+            "relaxed-justify",
+            "lock-order",
+            "no-debug-macros",
+            "vendor-pin"
+        ]
+    );
+}
