@@ -30,6 +30,9 @@ struct Args {
     collect: usize,
     stream: bool,
     producers: usize,
+    preset: String,
+    metrics: Option<String>,
+    trace: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -45,6 +48,9 @@ fn parse_args() -> Result<Args, String> {
         collect: 0,
         stream: false,
         producers: 4,
+        preset: "social".into(),
+        metrics: None,
+        trace: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -88,12 +94,28 @@ fn parse_args() -> Result<Args, String> {
                 a.collect = need(i)?.parse().map_err(|e| format!("--collect: {e}"))?;
                 i += 1;
             }
+            "--preset" => {
+                a.preset = need(i)?.to_lowercase();
+                if !matches!(a.preset.as_str(), "social" | "er") {
+                    return Err(format!("--preset: unknown preset '{}' (social|er)", a.preset));
+                }
+                i += 1;
+            }
+            "--metrics" => {
+                a.metrics = Some(need(i)?.clone());
+                i += 1;
+            }
+            "--trace" => {
+                a.trace = Some(need(i)?.clone());
+                i += 1;
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: csm [--graph FILE --updates FILE | --demo] \
+                    "usage: csm [--graph FILE --updates FILE | --demo [--preset social|er]] \
                      [--query NAME|SPEC] [--engine gcsm|zp|um|vsgm|naive|cpu|rf] \
                      [--batch-size N] [--budget FRAC] [--unique] [--collect K] \
-                     [--stream [--producers N]]"
+                     [--stream [--producers N]] \
+                     [--metrics FILE.json] [--trace FILE.trace.json]"
                 );
                 std::process::exit(0);
             }
@@ -139,10 +161,20 @@ fn main() {
         }
     };
 
+    // Observability: flip the process-wide obs layer on *before* any batch
+    // runs so every span and counter of the run lands in the export.
+    let obs_requested = args.metrics.is_some() || args.trace.is_some();
+    if obs_requested {
+        gcsm_obs::global().enable();
+    }
+
     let (graph, updates): (CsrGraph, Vec<EdgeUpdate>) = if args.demo {
-        let g = gcsm_datagen::social::generate_social(&gcsm_datagen::social::SocialConfig::new(
-            15, 6, 42,
-        ));
+        let g = match args.preset.as_str() {
+            "er" => gcsm_datagen::er::gnm(1 << 12, 1 << 14, 42),
+            _ => gcsm_datagen::social::generate_social(&gcsm_datagen::social::SocialConfig::new(
+                15, 6, 42,
+            )),
+        };
         let stream =
             gcsm_datagen::UpdateStream::generate(&g, gcsm_datagen::StreamConfig::Fraction(0.1), 7);
         (stream.initial, stream.updates)
@@ -231,6 +263,26 @@ fn main() {
         batches.len(),
         total_ms
     );
+    write_obs_outputs(&args);
+}
+
+/// Export the run's metrics snapshot and Chrome trace if requested.
+fn write_obs_outputs(args: &Args) {
+    let obs = gcsm_obs::global();
+    if let Some(path) = &args.metrics {
+        if let Err(e) = std::fs::write(path, obs.registry.snapshot().to_json()) {
+            eprintln!("csm: --metrics {path}: {e}");
+            std::process::exit(2);
+        }
+        println!("metrics written to {path}");
+    }
+    if let Some(path) = &args.trace {
+        if let Err(e) = std::fs::write(path, obs.tracer.to_chrome_json()) {
+            eprintln!("csm: --trace {path}: {e}");
+            std::process::exit(2);
+        }
+        println!("trace written to {path} (load in chrome://tracing or ui.perfetto.dev)");
+    }
 }
 
 /// `--stream`: feed the updates through the concurrent ingestion subsystem
@@ -299,6 +351,7 @@ fn run_stream_mode(
     });
     let (report, processor) = session.finish();
     printer.join().expect("printer thread panicked");
+    write_obs_outputs(args);
     let final_total = report.batches.last().map(|b| b.running_total).unwrap_or(base);
     let recount = processor.into_pipeline().static_count(args.unique);
     println!(

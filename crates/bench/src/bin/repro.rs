@@ -65,6 +65,8 @@ fn main() {
     if experiments.is_empty() {
         experiments.push("all".to_string());
     }
+    // Collect metrics for the whole run; `--json` embeds the snapshot.
+    gcsm_obs::global().enable();
     let all = experiments.iter().any(|e| e == "all");
     let want = |name: &str| all || experiments.iter().any(|e| e == name);
 
@@ -127,7 +129,7 @@ fn main() {
         t.print();
     }
     if let Some(path) = json_path {
-        gcsm_bench::report::write_json(&tables, &path).unwrap_or_else(|e| {
+        gcsm_bench::report::write_json_with_obs(&tables, &path).unwrap_or_else(|e| {
             eprintln!("repro: --json {path}: {e}");
             std::process::exit(2);
         });

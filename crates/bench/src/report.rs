@@ -123,6 +123,22 @@ pub fn write_json(tables: &[Table], path: &str) -> std::io::Result<()> {
     std::fs::write(path, tables_to_json(tables))
 }
 
+/// Like [`write_json`], but when the process-wide obs layer is enabled the
+/// report becomes `{"tables": [...], "obs": {...}}` with the metrics
+/// snapshot embedded — the run's counters travel with its tables.
+pub fn write_json_with_obs(tables: &[Table], path: &str) -> std::io::Result<()> {
+    let obs = gcsm_obs::global();
+    if !obs.enabled() {
+        return write_json(tables, path);
+    }
+    let out = format!(
+        "{{\n\"tables\": {},\n\"obs\": {}\n}}",
+        tables_to_json(tables),
+        obs.registry.snapshot().to_json()
+    );
+    std::fs::write(path, out)
+}
+
 /// Human-readable byte count.
 pub fn fmt_bytes(b: f64) -> String {
     if b >= 1e9 {

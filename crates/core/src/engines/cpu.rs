@@ -56,7 +56,10 @@ impl Engine for CpuWcojEngine {
             plan: self.cfg.plan,
             parallel: self.cfg.parallel_kernel,
         };
-        let stats = match_incremental(&src, query, batch, &opts);
+        let stats = {
+            let _span = gcsm_obs::span("matching", gcsm_obs::cat::ENGINE);
+            match_incremental(&src, query, batch, &opts)
+        };
         self.device.cpu_ops(stats.intersect_ops);
         let phases = PhaseBreakdown { matching: m.lap(), ..Default::default() };
         m.finish(self.name(), stats, phases, 0, 0, overall)

@@ -98,6 +98,9 @@ impl Engine for GcsmEngine {
         let overall = self.device.snapshot();
         let mut m = Measurer::begin(&self.device, &self.cfg);
         let mut phases = PhaseBreakdown::default();
+        let mut delta_span = gcsm_obs::span("delta_build", gcsm_obs::cat::ENGINE);
+        delta_span.set_count(batch.len() as u64);
+        let fe_span = gcsm_obs::span("freq_est", gcsm_obs::cat::ENGINE);
 
         // ---- Step 2: frequency estimation (host) ----
         let plans = if self.cfg.optimized_order {
@@ -172,6 +175,8 @@ impl Engine for GcsmEngine {
             )
         };
         phases.freq_est += est.walk_ops as f64 * self.cfg.gpu.walk_op_cost;
+        drop(fe_span);
+        let dc_span = gcsm_obs::span("data_copy", gcsm_obs::cat::ENGINE);
 
         // ---- Step 3: select, pack, DMA (host + link) ----
         let budget = self.cfg.gpu.cache_budget();
@@ -192,10 +197,15 @@ impl Engine for GcsmEngine {
         self.device.dma(shipped_bytes);
         // Host-side packing streams the shipped lists once.
         phases.data_copy = m.lap() + shipped_bytes as f64 / self.cfg.gpu.cpu_mem_bandwidth;
+        drop(dc_span);
+        drop(delta_span);
 
         // ---- Step 4: the matching kernel (same plans the walks sampled) ----
         let src = CachedSource { graph, device: &self.device, dcsr: &dcsr };
-        let run = run_gpu_kernel_with_plans(&self.device, &src, &plans, batch, &self.cfg);
+        let run = {
+            let _span = gcsm_obs::span("matching", gcsm_obs::cat::ENGINE);
+            run_gpu_kernel_with_plans(&self.device, &src, &plans, batch, &self.cfg)
+        };
         // Stretch the kernel's time by the grid load-imbalance factor of
         // the configured scheduling policy (1.0 under perfect balance).
         phases.matching = m.lap() * run.imbalance;
@@ -280,7 +290,7 @@ mod tests {
         let cfg = EngineConfig { walks_override: Some(16), ..Default::default() };
         let mut e = GcsmEngine::new(cfg);
         let r = e.match_sealed(&g, &s.applied, &queries::triangle());
-        assert!(r.matches >= 0 || r.matches < 0); // ran without panic
+        let _ = r.matches; // any count is fine — the point is it ran without panic
         assert!(e.last_estimate().is_some());
     }
 

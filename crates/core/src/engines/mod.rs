@@ -69,12 +69,12 @@ pub(crate) struct Measurer<'a> {
     device: &'a Device,
     cfg: &'a EngineConfig,
     start: gcsm_gpusim::TrafficSnapshot,
-    wall_start: std::time::Instant,
+    wall_start: gcsm_obs::Stopwatch,
 }
 
 impl<'a> Measurer<'a> {
     pub(crate) fn begin(device: &'a Device, cfg: &'a EngineConfig) -> Self {
-        Self { device, cfg, start: device.snapshot(), wall_start: std::time::Instant::now() }
+        Self { device, cfg, start: device.snapshot(), wall_start: gcsm_obs::Stopwatch::start() }
     }
 
     /// Simulated seconds of the traffic accumulated since the last call
@@ -106,7 +106,7 @@ impl<'a> Measurer<'a> {
             cache_hit_rate: traffic.cache_hit_rate(),
             traffic,
             sim,
-            wall_seconds: self.wall_start.elapsed().as_secs_f64(),
+            wall_seconds: self.wall_start.elapsed_seconds(),
             cached_bytes,
             stats,
             aux_bytes,

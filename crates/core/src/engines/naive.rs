@@ -60,6 +60,8 @@ impl Engine for NaiveDegreeEngine {
         let mut phases = PhaseBreakdown::default();
 
         // ---- DC: rank every vertex by degree, pack under the budget ----
+        let mut delta_span = gcsm_obs::span("delta_build", gcsm_obs::cat::ENGINE);
+        let dc_span = gcsm_obs::span("data_copy", gcsm_obs::cat::ENGINE);
         let candidates: Vec<(VertexId, usize)> = (0..graph.num_vertices() as VertexId)
             .map(|v| (v, graph.new_degree(v)))
             .filter(|&(_, d)| d > 0)
@@ -70,10 +72,16 @@ impl Engine for NaiveDegreeEngine {
         let cached_bytes = dcsr.bytes();
         self.device.dma(cached_bytes);
         phases.data_copy = m.lap() + cached_bytes as f64 / self.cfg.gpu.cpu_mem_bandwidth;
+        drop(dc_span);
+        delta_span.set_count(selection.vertices.len() as u64);
+        drop(delta_span);
 
         // ---- Match ----
         let src = CachedSource { graph, device: &self.device, dcsr: &dcsr };
-        let run = run_gpu_kernel(&self.device, &src, query, batch, &self.cfg);
+        let run = {
+            let _span = gcsm_obs::span("matching", gcsm_obs::cat::ENGINE);
+            run_gpu_kernel(&self.device, &src, query, batch, &self.cfg)
+        };
         // Stretch the kernel's time by the grid load-imbalance factor of
         // the configured scheduling policy (1.0 under perfect balance).
         phases.matching = m.lap() * run.imbalance;

@@ -58,6 +58,7 @@ impl Engine for RapidFlowEngine {
 
         // Index construction / maintenance, charged as CPU streaming work
         // over the index bytes plus one filter op per (vertex, qvertex).
+        let delta_span = gcsm_obs::span("delta_build", gcsm_obs::cat::ENGINE);
         let maintenance_items;
         let rf = match &mut self.inner {
             slot @ None => {
@@ -73,7 +74,11 @@ impl Engine for RapidFlowEngine {
         phases.update = maintenance_items as f64 * self.cfg.gpu.cpu_op_cost
             + rf.index_bytes() as f64 / self.cfg.gpu.cpu_mem_bandwidth / 8.0;
 
-        let stats = rf.match_batch(graph, batch);
+        drop(delta_span);
+        let stats = {
+            let _span = gcsm_obs::span("matching", gcsm_obs::cat::ENGINE);
+            rf.match_batch(graph, batch)
+        };
         self.device.cpu_ops(stats.intersect_ops);
         phases.matching = m.lap();
 

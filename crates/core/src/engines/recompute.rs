@@ -55,6 +55,7 @@ impl Engine for RecomputeEngine {
             plan: self.cfg.plan,
             parallel: self.cfg.parallel_kernel,
         };
+        let _span = gcsm_obs::span("matching", gcsm_obs::cat::ENGINE);
         // Snapshot materialization is CPU streaming work over the graph.
         let before = graph.old_to_csr();
         let after = graph.to_csr();

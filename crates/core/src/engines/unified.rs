@@ -52,9 +52,15 @@ impl Engine for UnifiedMemEngine {
         let mut m = Measurer::begin(&self.device, &self.cfg);
         // The managed arena layout shifts as lists grow; rebuild the
         // address map per batch (host-side, cheap).
-        let addr = AddrMap::build(graph);
+        let addr = {
+            let _span = gcsm_obs::span("delta_build", gcsm_obs::cat::ENGINE);
+            AddrMap::build(graph)
+        };
         let src = UnifiedSource { graph, device: &self.device, addr: &addr };
-        let run = run_gpu_kernel(&self.device, &src, query, batch, &self.cfg);
+        let run = {
+            let _span = gcsm_obs::span("matching", gcsm_obs::cat::ENGINE);
+            run_gpu_kernel(&self.device, &src, query, batch, &self.cfg)
+        };
         let phases = PhaseBreakdown { matching: m.lap() * run.imbalance, ..Default::default() };
         let stats = run.stats;
         m.finish(self.name(), stats, phases, 0, 0, overall)

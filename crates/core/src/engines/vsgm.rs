@@ -63,6 +63,8 @@ impl Engine for VsgmEngine {
         let mut phases = PhaseBreakdown::default();
 
         // ---- DC: gather the k-hop neighborhood and ship everything ----
+        let mut delta_span = gcsm_obs::span("delta_build", gcsm_obs::cat::ENGINE);
+        let dc_span = gcsm_obs::span("data_copy", gcsm_obs::cat::ENGINE);
         let k = query.diameter();
         let vertices = khop_vertices(graph, batch, k);
         let dcsr = Dcsr::pack(graph, &vertices);
@@ -71,10 +73,16 @@ impl Engine for VsgmEngine {
         self.device.dma(cached_bytes);
         // Host side: the BFS walks every copied list once, then packs it.
         phases.data_copy = m.lap() + 2.0 * cached_bytes as f64 / self.cfg.gpu.cpu_mem_bandwidth;
+        drop(dc_span);
+        delta_span.set_count(vertices.len() as u64);
+        drop(delta_span);
 
         // ---- Match: all accesses should now hit device memory ----
         let src = CachedSource { graph, device: &self.device, dcsr: &dcsr };
-        let run = run_gpu_kernel(&self.device, &src, query, batch, &self.cfg);
+        let run = {
+            let _span = gcsm_obs::span("matching", gcsm_obs::cat::ENGINE);
+            run_gpu_kernel(&self.device, &src, query, batch, &self.cfg)
+        };
         // Stretch the kernel's time by the grid load-imbalance factor of
         // the configured scheduling policy (1.0 under perfect balance).
         phases.matching = m.lap() * run.imbalance;

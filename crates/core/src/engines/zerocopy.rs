@@ -50,7 +50,10 @@ impl Engine for ZeroCopyEngine {
         let overall = self.device.snapshot();
         let mut m = Measurer::begin(&self.device, &self.cfg);
         let src = ZeroCopySource { graph, device: &self.device };
-        let run = run_gpu_kernel(&self.device, &src, query, batch, &self.cfg);
+        let run = {
+            let _span = gcsm_obs::span("matching", gcsm_obs::cat::ENGINE);
+            run_gpu_kernel(&self.device, &src, query, batch, &self.cfg)
+        };
         let phases = PhaseBreakdown { matching: m.lap() * run.imbalance, ..Default::default() };
         let stats = run.stats;
         m.finish(self.name(), stats, phases, 0, 0, overall)

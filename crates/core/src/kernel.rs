@@ -64,33 +64,56 @@ pub fn run_gpu_kernel_with_plans<S: NeighborSource>(
                 match_from_seed_stack(src, &plans[pi], a, b, sign, cfg.algo, ss, &mut |_, _| {})
             }
         };
-    let per_task: Vec<(MatchStats, u64)> = if cfg.parallel_kernel {
-        tasks
-            .par_iter()
-            .map_init(
-                || (Scratch::default(), StackScratch::default()),
-                |(rs, ss), &(pi, a, b, sign)| {
-                    let s = run_task(rs, ss, pi, a, b, sign);
+    let run_slice = |slice: &[(usize, gcsm_graph::VertexId, gcsm_graph::VertexId, i64)]| -> Vec<(MatchStats, u64)> {
+        if cfg.parallel_kernel {
+            slice
+                .par_iter()
+                .map_init(
+                    || (Scratch::default(), StackScratch::default()),
+                    |(rs, ss), &(pi, a, b, sign)| {
+                        let s = run_task(rs, ss, pi, a, b, sign);
+                        let cost = s.intersect_ops + s.list_accesses;
+                        (s, cost)
+                    },
+                )
+                .collect()
+        } else {
+            let mut rs = Scratch::default();
+            let mut ss = StackScratch::default();
+            slice
+                .iter()
+                .map(|&(pi, a, b, sign)| {
+                    let s = run_task(&mut rs, &mut ss, pi, a, b, sign);
                     let cost = s.intersect_ops + s.list_accesses;
                     (s, cost)
-                },
-            )
-            .collect()
-    } else {
-        let mut rs = Scratch::default();
-        let mut ss = StackScratch::default();
-        tasks
-            .iter()
-            .map(|&(pi, a, b, sign)| {
-                let s = run_task(&mut rs, &mut ss, pi, a, b, sign);
-                let cost = s.intersect_ops + s.list_accesses;
-                (s, cost)
-            })
-            .collect()
+                })
+                .collect()
+        }
     };
+    // `delta_seeds` is plan-major: plan `i`'s tasks are one contiguous
+    // chunk of `batch.len() * 2` seeds, so with tracing on each ΔM_i level
+    // runs under its own `dm_i` span. The chunks partition the same task
+    // list in the same order, so the per-task cost vector (and therefore
+    // the imbalance factor) is identical either way.
+    let stride = batch.len() * 2;
+    let per_task: Vec<(MatchStats, u64)> = if gcsm_obs::enabled() && stride > 0 {
+        let mut out = Vec::with_capacity(tasks.len());
+        for (level, chunk) in tasks.chunks(stride).enumerate() {
+            let mut span = gcsm_obs::span("dm_i", gcsm_obs::cat::MATCHER);
+            span.set_level(level as u32);
+            span.set_count(chunk.len() as u64);
+            out.extend(run_slice(chunk));
+        }
+        out
+    } else {
+        run_slice(&tasks)
+    };
+    let mut merge_span = gcsm_obs::span("merge", gcsm_obs::cat::MATCHER);
+    merge_span.set_count(per_task.len() as u64);
     let costs: Vec<u64> = per_task.iter().map(|(_, c)| *c).collect();
     let imbalance = gcsm_gpusim::imbalance_factor(&costs, cfg.gpu.num_blocks, cfg.scheduling);
     let stats = per_task.into_iter().map(|(s, _)| s).sum::<MatchStats>();
+    drop(merge_span);
     device.gpu_ops(stats.intersect_ops);
     KernelRun { stats, imbalance }
 }

@@ -59,7 +59,7 @@ pub use engines::{
 };
 pub use multi::{MultiBatchResult, MultiPipeline};
 pub use pipeline::Pipeline;
-pub use result::{BatchResult, PhaseBreakdown, SealReason, StreamMeta};
+pub use result::{record_batch_metrics, BatchResult, PhaseBreakdown, SealReason, StreamMeta};
 pub use stream::{
     Backpressure, SealPolicy, SequenceMode, StreamConfig, StreamProducer, StreamSession,
 };

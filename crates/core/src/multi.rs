@@ -68,12 +68,20 @@ impl MultiPipeline {
     /// Process one batch for every registered query: one update, one
     /// reorganisation, `k` matching invocations.
     pub fn process_batch(&mut self, updates: &[EdgeUpdate]) -> MultiBatchResult {
+        let mut batch_span = gcsm_obs::span("batch", gcsm_obs::cat::PIPELINE);
+        batch_span.set_count(updates.len() as u64);
         // Step 1 (shared).
-        self.graph.begin_batch();
-        for &u in updates {
-            self.graph.apply(u);
+        {
+            let _span = gcsm_obs::span("ingest", gcsm_obs::cat::PIPELINE);
+            self.graph.begin_batch();
+            for &u in updates {
+                self.graph.apply(u);
+            }
         }
-        let summary = self.graph.seal_batch();
+        let summary = {
+            let _span = gcsm_obs::span("seal", gcsm_obs::cat::PIPELINE);
+            self.graph.seal_batch()
+        };
         let cpu_bw =
             self.queries.first().map(|r| r.engine.config().gpu.cpu_mem_bandwidth).unwrap_or(25.0e9);
         let touched_bytes: usize =
@@ -97,6 +105,10 @@ impl MultiPipeline {
         self.graph.reorganize();
         if let Some((_, first)) = per_query.first_mut() {
             first.phases.reorganize += 2.0 * reorg_bytes as f64 / cpu_bw;
+        }
+        drop(batch_span);
+        for (_, r) in &per_query {
+            crate::result::record_batch_metrics(r);
         }
         MultiBatchResult { per_query }
     }

@@ -13,12 +13,14 @@ use gcsm_pattern::QueryGraph;
 pub struct Pipeline {
     graph: DynamicGraph,
     query: QueryGraph,
+    /// Batches processed so far; labels the `batch` spans in traces.
+    batches: u64,
 }
 
 impl Pipeline {
     /// Pipeline over an initial snapshot `G_0`.
     pub fn new(initial: CsrGraph, query: QueryGraph) -> Self {
-        Self { graph: DynamicGraph::from_csr(&initial), query }
+        Self { graph: DynamicGraph::from_csr(&initial), query, batches: 0 }
     }
 
     /// The current graph state.
@@ -62,11 +64,21 @@ impl Pipeline {
         updates: &[EdgeUpdate],
     ) -> (BatchResult, Vec<(Vec<gcsm_graph::VertexId>, i64)>) {
         let cpu_bw = engine.config().gpu.cpu_mem_bandwidth;
-        self.graph.begin_batch();
-        for &u in updates {
-            self.graph.apply(u);
+        let mut batch_span = gcsm_obs::span("batch", gcsm_obs::cat::PIPELINE);
+        batch_span.set_batch(self.batches);
+        batch_span.set_count(updates.len() as u64);
+        self.batches += 1;
+        {
+            let _span = gcsm_obs::span("ingest", gcsm_obs::cat::PIPELINE);
+            self.graph.begin_batch();
+            for &u in updates {
+                self.graph.apply(u);
+            }
         }
-        let summary = self.graph.seal_batch();
+        let summary = {
+            let _span = gcsm_obs::span("seal", gcsm_obs::cat::PIPELINE);
+            self.graph.seal_batch()
+        };
         let touched_bytes: usize =
             self.graph.updated_vertices().iter().map(|&v| self.graph.list_bytes(v)).sum();
 
@@ -88,6 +100,8 @@ impl Pipeline {
         self.graph.reorganize();
         result.phases.update += touched_bytes as f64 / cpu_bw;
         result.phases.reorganize += 2.0 * reorg_bytes as f64 / cpu_bw;
+        drop(batch_span);
+        crate::result::record_batch_metrics(&result);
         (result, collected)
     }
 
@@ -99,36 +113,48 @@ impl Pipeline {
         updates: &[EdgeUpdate],
     ) -> BatchResult {
         let cpu_bw = engine.config().gpu.cpu_mem_bandwidth;
+        let mut batch_span = gcsm_obs::span("batch", gcsm_obs::cat::PIPELINE);
+        batch_span.set_batch(self.batches);
+        batch_span.set_count(updates.len() as u64);
+        self.batches += 1;
 
         // ---- Step 1: append ΔE to the CPU lists ----
-        let wall0 = std::time::Instant::now();
-        self.graph.begin_batch();
-        for &u in updates {
-            self.graph.apply(u);
+        let wall0 = gcsm_obs::Stopwatch::start();
+        {
+            let _span = gcsm_obs::span("ingest", gcsm_obs::cat::PIPELINE);
+            self.graph.begin_batch();
+            for &u in updates {
+                self.graph.apply(u);
+            }
         }
-        let summary = self.graph.seal_batch();
+        let summary = {
+            let _span = gcsm_obs::span("seal", gcsm_obs::cat::PIPELINE);
+            self.graph.seal_batch()
+        };
         // Model: one binary search + append per update endpoint; dominated
         // by touching each updated list once.
         let touched_bytes: usize =
             self.graph.updated_vertices().iter().map(|&v| self.graph.list_bytes(v)).sum();
         let update_sim = touched_bytes as f64 / cpu_bw;
-        let update_wall = wall0.elapsed().as_secs_f64();
+        let update_wall = wall0.elapsed_seconds();
 
         // ---- Steps 2–4: the engine ----
         let mut result = engine.match_sealed(&self.graph, &summary.applied, &self.query);
 
         // ---- Step 5: reorganize (after matching, per the paper) ----
-        let wall1 = std::time::Instant::now();
+        let wall1 = gcsm_obs::Stopwatch::start();
         let reorg_bytes: usize =
             self.graph.updated_vertices().iter().map(|&v| self.graph.list_bytes(v)).sum();
         self.graph.reorganize();
-        let reorg_wall = wall1.elapsed().as_secs_f64();
+        let reorg_wall = wall1.elapsed_seconds();
         // Merge-sort + tombstone removal streams each updated list ~twice.
         let reorg_sim = 2.0 * reorg_bytes as f64 / cpu_bw;
 
         result.phases.update += update_sim;
         result.phases.reorganize += reorg_sim;
         result.wall_seconds += update_wall + reorg_wall;
+        drop(batch_span);
+        crate::result::record_batch_metrics(&result);
         result
     }
 

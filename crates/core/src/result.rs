@@ -121,6 +121,31 @@ impl BatchResult {
     }
 }
 
+/// Fold one batch's measurements into the process-wide obs registry
+/// (no-op unless observability is enabled).
+///
+/// Namespace: `matcher.*` mirrors [`MatchStats`] (net `matches` as a
+/// gauge, `intersect_ops` / `list_accesses` as counters — these reconcile
+/// exactly with engine totals), `gpusim.*` accumulates the engine's
+/// interval [`TrafficSnapshot`], `pipeline.*` holds the batch counter and
+/// per-batch latency histograms (µs).
+pub fn record_batch_metrics(r: &BatchResult) {
+    let obs = gcsm_obs::global();
+    if !obs.enabled() {
+        return;
+    }
+    let reg = &obs.registry;
+    reg.counter("pipeline.batches").inc();
+    reg.gauge("matcher.matches").add(r.matches);
+    reg.counter("matcher.intersect_ops").add(r.stats.intersect_ops);
+    reg.counter("matcher.list_accesses").add(r.stats.list_accesses);
+    for (field, v) in r.traffic.named_fields() {
+        reg.counter(&format!("gpusim.{field}")).add(v);
+    }
+    reg.histogram("pipeline.batch_sim_us").observe((r.phases.total() * 1e6) as u64);
+    reg.histogram("pipeline.batch_wall_us").observe((r.wall_seconds * 1e6) as u64);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -9,7 +9,6 @@
 
 use crate::result::{SealReason, StreamMeta};
 use gcsm_graph::{CoalesceWindow, EdgeUpdate};
-use std::time::Instant;
 
 /// One element of a sequenced stream: an edge update or a logical tick.
 ///
@@ -65,7 +64,9 @@ pub struct BatchBuilder {
     /// Sequence span of events routed into the open window (including
     /// duplicates, cancellations and rejected self-loops).
     span: Option<(u64, u64)>,
-    opened_at: Option<Instant>,
+    /// Process-clock microseconds when the window opened (obs timeline, so
+    /// the session worker can place `window` spans on the shared trace).
+    opened_at_us: Option<u64>,
 }
 
 impl BatchBuilder {
@@ -73,7 +74,13 @@ impl BatchBuilder {
         if let Some(n) = policy.size_threshold() {
             assert!(n >= 1, "SealPolicy size threshold must be at least 1");
         }
-        Self { policy, window: CoalesceWindow::new(), batch_index: 0, span: None, opened_at: None }
+        Self {
+            policy,
+            window: CoalesceWindow::new(),
+            batch_index: 0,
+            span: None,
+            opened_at_us: None,
+        }
     }
 
     pub fn policy(&self) -> SealPolicy {
@@ -90,8 +97,8 @@ impl BatchBuilder {
             None => (seq, seq),
             Some((lo, hi)) => (lo.min(seq), hi.max(seq)),
         });
-        if self.opened_at.is_none() {
-            self.opened_at = Some(Instant::now());
+        if self.opened_at_us.is_none() {
+            self.opened_at_us = Some(gcsm_obs::monotonic_micros());
         }
     }
 
@@ -109,9 +116,9 @@ impl BatchBuilder {
             seal_reason: reason,
             queue_depth: 0, // filled by the session worker
             window_open_seconds: self
-                .opened_at
+                .opened_at_us
                 .take()
-                .map(|t| t.elapsed().as_secs_f64())
+                .map(|t| gcsm_obs::monotonic_micros().saturating_sub(t) as f64 * 1e-6)
                 .unwrap_or(0.0),
         };
         self.batch_index += 1;

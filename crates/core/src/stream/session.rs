@@ -194,6 +194,7 @@ pub struct StreamProducer {
     tx: Sender<Envelope>,
     depth: Arc<AtomicUsize>,
     dropped: Arc<AtomicU64>,
+    blocked: Arc<AtomicUsize>,
     mode: SequenceMode,
     backpressure: Backpressure,
 }
@@ -204,6 +205,7 @@ impl Clone for StreamProducer {
             tx: self.tx.clone(),
             depth: Arc::clone(&self.depth),
             dropped: Arc::clone(&self.dropped),
+            blocked: Arc::clone(&self.blocked),
             mode: self.mode,
             backpressure: self.backpressure,
         }
@@ -218,12 +220,36 @@ impl StreamProducer {
                 // channel itself orders the envelopes, so no acquire/release
                 // pairing is needed on the counter.
                 self.depth.fetch_add(1, Ordering::Relaxed);
-                if self.tx.send(env).is_err() {
-                    // Relaxed: undo of the advisory gauge above.
-                    self.depth.fetch_sub(1, Ordering::Relaxed);
-                    return false;
+                match self.tx.try_send(env) {
+                    Ok(()) => true,
+                    Err(TrySendError::Disconnected(_)) => {
+                        // Relaxed: undo of the advisory gauge above.
+                        self.depth.fetch_sub(1, Ordering::Relaxed);
+                        false
+                    }
+                    Err(TrySendError::Full(env)) => {
+                        // Queue full: this producer is about to stall on a
+                        // blocking send. Count the stall (and mirror it into
+                        // the obs gauge) so backpressure is observable.
+                        // Relaxed: advisory gauge, same as depth above.
+                        self.blocked.fetch_add(1, Ordering::Relaxed);
+                        let obs_on = gcsm_obs::enabled();
+                        if obs_on {
+                            gcsm_obs::global().registry.gauge("stream.blocked_producers").inc();
+                        }
+                        let ok = self.tx.send(env).is_ok();
+                        // Relaxed: undo of the advisory gauge above.
+                        self.blocked.fetch_sub(1, Ordering::Relaxed);
+                        if obs_on {
+                            gcsm_obs::global().registry.gauge("stream.blocked_producers").dec();
+                        }
+                        if !ok {
+                            // Relaxed: undo of the advisory depth gauge.
+                            self.depth.fetch_sub(1, Ordering::Relaxed);
+                        }
+                        ok
+                    }
                 }
-                true
             }
             Backpressure::DropNewest => {
                 // Relaxed: same advisory gauge as the Block arm.
@@ -288,6 +314,7 @@ pub struct StreamSession<P: BatchProcessor> {
     subscribers: Arc<Mutex<Vec<Sender<P::Out>>>>,
     depth: Arc<AtomicUsize>,
     dropped: Arc<AtomicU64>,
+    blocked: Arc<AtomicUsize>,
     mode: SequenceMode,
     backpressure: Backpressure,
 }
@@ -303,18 +330,24 @@ impl<P: BatchProcessor + 'static> StreamSession<P> {
         );
         let (tx, rx) = channel::bounded::<Envelope>(config.capacity.max(1));
         let depth = Arc::new(AtomicUsize::new(0));
+        let dropped = Arc::new(AtomicU64::new(0));
+        let blocked = Arc::new(AtomicUsize::new(0));
         let subscribers: Arc<Mutex<Vec<Sender<P::Out>>>> = Arc::new(Mutex::new(Vec::new()));
         let worker = {
             let depth = Arc::clone(&depth);
+            let dropped = Arc::clone(&dropped);
             let subscribers = Arc::clone(&subscribers);
-            std::thread::spawn(move || run_worker(processor, rx, config, depth, subscribers))
+            std::thread::spawn(move || {
+                run_worker(processor, rx, config, depth, dropped, subscribers)
+            })
         };
         Self {
             tx: Some(tx),
             worker: Some(worker),
             subscribers,
             depth,
-            dropped: Arc::new(AtomicU64::new(0)),
+            dropped,
+            blocked,
             mode: config.mode,
             backpressure: config.backpressure,
         }
@@ -326,9 +359,30 @@ impl<P: BatchProcessor + 'static> StreamSession<P> {
             tx: self.tx.as_ref().expect("session not finished").clone(),
             depth: Arc::clone(&self.depth),
             dropped: Arc::clone(&self.dropped),
+            blocked: Arc::clone(&self.blocked),
             mode: self.mode,
             backpressure: self.backpressure,
         }
+    }
+
+    /// Current ingest-queue depth (advisory point-in-time value).
+    pub fn queue_depth(&self) -> usize {
+        // Relaxed: advisory gauge; see the producer-side comments.
+        self.depth.load(Ordering::Relaxed)
+    }
+
+    /// Producers currently stalled on a full queue under
+    /// [`Backpressure::Block`] (advisory point-in-time value).
+    pub fn blocked_producers(&self) -> usize {
+        // Relaxed: advisory gauge; see the producer-side comments.
+        self.blocked.load(Ordering::Relaxed)
+    }
+
+    /// Updates dropped so far under [`Backpressure::DropNewest`].
+    pub fn dropped_updates(&self) -> u64 {
+        // Relaxed: monotonic statistics counter; an eventually-consistent
+        // total is all callers need mid-session.
+        self.dropped.load(Ordering::Relaxed)
     }
 
     /// Subscribe to per-batch outputs. Batches sealed before subscribing
@@ -376,11 +430,41 @@ pub fn spawn_multi(
     StreamSession::spawn(MultiProcessor::new(multi, ledger_bases), config)
 }
 
+/// Fold one sealed batch's ingestion stats into the obs layer (no-op when
+/// observability is disabled): `stream.*` gauges/counters plus a closed
+/// `window` span spanning first-admission → seal on the worker's timeline.
+fn record_sealed_obs(sealed: &SealedBatch, dropped: &AtomicU64) {
+    let obs = gcsm_obs::global();
+    if !obs.enabled() {
+        return;
+    }
+    let open_us = (sealed.meta.window_open_seconds * 1e6) as u64;
+    let now_us = gcsm_obs::monotonic_micros();
+    obs.tracer.record_closed(
+        "window",
+        gcsm_obs::cat::STREAM,
+        now_us.saturating_sub(open_us),
+        open_us,
+        gcsm_obs::SpanArgs {
+            batch: Some(sealed.meta.batch_index),
+            level: None,
+            count: Some(sealed.meta.admitted as u64),
+        },
+    );
+    obs.registry.gauge("stream.queue_depth").set(sealed.meta.queue_depth as i64);
+    obs.registry.counter("stream.batches_sealed").inc();
+    obs.registry.counter("stream.updates_admitted").add(sealed.meta.admitted as u64);
+    // Relaxed: monotonic statistics counter mirrored into a gauge; readers
+    // only need an eventually-consistent total.
+    obs.registry.gauge("stream.dropped_updates").set(dropped.load(Ordering::Relaxed) as i64);
+}
+
 fn run_worker<P: BatchProcessor>(
     mut processor: P,
     rx: Receiver<Envelope>,
     config: StreamConfig,
     depth: Arc<AtomicUsize>,
+    dropped: Arc<AtomicU64>,
     subscribers: Arc<Mutex<Vec<Sender<P::Out>>>>,
 ) -> (SessionReport<P::Out>, P) {
     let mut builder = BatchBuilder::new(config.seal_policy);
@@ -409,6 +493,7 @@ fn run_worker<P: BatchProcessor>(
             // Relaxed: advisory point-in-time gauge recorded in batch
             // metadata; exactness is not part of the determinism contract.
             sealed.meta.queue_depth = depth.load(Ordering::Relaxed);
+            record_sealed_obs(&sealed, &dropped);
             let out = processor.process(&sealed);
             subscribers.lock().retain(|tx| tx.send(out.clone()).is_ok());
             report.batches.push(out);
@@ -442,6 +527,7 @@ fn run_worker<P: BatchProcessor>(
     }
     if let Some(mut sealed) = builder.flush() {
         sealed.meta.queue_depth = 0;
+        record_sealed_obs(&sealed, &dropped);
         let out = processor.process(&sealed);
         subscribers.lock().retain(|tx| tx.send(out.clone()).is_ok());
         report.batches.push(out);
@@ -468,7 +554,7 @@ mod tests {
 
     #[test]
     fn session_processes_and_ledger_tracks() {
-        let mut pipeline = small_pipeline();
+        let pipeline = small_pipeline();
         let base = pipeline.static_count(false);
         let session = spawn_pipeline(
             pipeline,

@@ -127,6 +127,25 @@ impl TrafficSnapshot {
         self.zerocopy_bytes + self.um_faults * page_size as u64
     }
 
+    /// `(field, value)` pairs in declaration order, for data-driven export
+    /// (e.g. folding interval traffic into an observability registry).
+    pub fn named_fields(&self) -> [(&'static str, u64); 12] {
+        [
+            ("dma_bytes", self.dma_bytes),
+            ("dma_transactions", self.dma_transactions),
+            ("zerocopy_bytes", self.zerocopy_bytes),
+            ("zerocopy_transactions", self.zerocopy_transactions),
+            ("um_faults", self.um_faults),
+            ("um_hits", self.um_hits),
+            ("device_bytes", self.device_bytes),
+            ("gpu_ops", self.gpu_ops),
+            ("cpu_ops", self.cpu_ops),
+            ("kernel_launches", self.kernel_launches),
+            ("cache_hits", self.cache_hits),
+            ("cache_misses", self.cache_misses),
+        ]
+    }
+
     /// Cache hit rate over neighbor-list accesses.
     pub fn cache_hit_rate(&self) -> f64 {
         let total = self.cache_hits + self.cache_misses;
@@ -199,6 +218,31 @@ mod tests {
         let s = TrafficSnapshot { cache_hits: 3, cache_misses: 1, ..Default::default() };
         assert!((s.cache_hit_rate() - 0.75).abs() < 1e-12);
         assert_eq!(TrafficSnapshot::default().cache_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn named_fields_cover_every_counter() {
+        let s = TrafficSnapshot {
+            dma_bytes: 1,
+            dma_transactions: 2,
+            zerocopy_bytes: 3,
+            zerocopy_transactions: 4,
+            um_faults: 5,
+            um_hits: 6,
+            device_bytes: 7,
+            gpu_ops: 8,
+            cpu_ops: 9,
+            kernel_launches: 10,
+            cache_hits: 11,
+            cache_misses: 12,
+        };
+        let fields = s.named_fields();
+        let values: Vec<u64> = fields.iter().map(|&(_, v)| v).collect();
+        assert_eq!(values, (1..=12).collect::<Vec<u64>>());
+        let mut names: Vec<&str> = fields.iter().map(|&(n, _)| n).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 12, "field names must be distinct");
     }
 
     #[test]

@@ -355,6 +355,7 @@ impl DynamicGraph {
     /// number of lists reorganized.
     pub fn reorganize(&mut self) -> usize {
         assert_eq!(self.phase, Phase::Sealed, "reorganize requires a sealed batch");
+        let mut span = gcsm_obs::span("reorganize", gcsm_obs::cat::GRAPH);
         let mut count = 0;
         for &v in &self.touched {
             let list = &mut self.lists[v as usize];
@@ -408,6 +409,7 @@ impl DynamicGraph {
         }
         self.touched.clear();
         self.phase = Phase::Clean;
+        span.set_count(count as u64);
         count
     }
 
@@ -418,6 +420,7 @@ impl DynamicGraph {
     pub fn reorganize_parallel(&mut self) -> usize {
         use rayon::prelude::*;
         assert_eq!(self.phase, Phase::Sealed, "reorganize requires a sealed batch");
+        let mut span = gcsm_obs::span("reorganize", gcsm_obs::cat::GRAPH);
         let mut touched_flags = vec![false; self.lists.len()];
         for &v in &self.touched {
             touched_flags[v as usize] = true;
@@ -475,6 +478,7 @@ impl DynamicGraph {
             .sum();
         self.touched.clear();
         self.phase = Phase::Clean;
+        span.set_count(count as u64);
         count
     }
 

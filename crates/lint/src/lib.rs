@@ -14,6 +14,7 @@
 //! | `relaxed-justify` | `Ordering::Relaxed` needs an inline `Relaxed:` justification  |
 //! | `lock-order`      | cross-function lock acquisition order has no cycles           |
 //! | `no-debug-macros` | `todo!`/`unimplemented!`/`dbg!` banned workspace-wide         |
+//! | `no-raw-clock`    | `Instant::now()` banned in matcher/core; use `gcsm-obs` clocks|
 //! | `vendor-pin`      | every `vendor/*` shim appears in `Cargo.lock` at its version  |
 //! | `allow-syntax`    | suppression comments are well-formed (known rule, has reason) |
 //!
@@ -36,6 +37,7 @@ pub const RULE_IDS: &[&str] = &[
     "relaxed-justify",
     "lock-order",
     "no-debug-macros",
+    "no-raw-clock",
     "vendor-pin",
 ];
 
@@ -51,6 +53,11 @@ pub const HOT_PATH_MODULES: &[&str] = &[
 
 /// Scopes where `Ordering::Relaxed` requires a justification comment.
 pub const RELAXED_SCOPES: &[&str] = &["crates/core/src/stream/", "crates/graph/src/"];
+
+/// Scopes where `Instant::now()` is banned in favor of the `gcsm-obs`
+/// clock (`Stopwatch` / `monotonic_micros`), keeping every timing source on
+/// the one trace timeline.
+pub const RAW_CLOCK_SCOPES: &[&str] = &["crates/matcher/src/", "crates/core/src/"];
 
 /// One diagnostic.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -384,6 +391,7 @@ pub fn lint_project(files: &[(String, String)]) -> Vec<Finding> {
         rules::unsafe_doc::check(f, &mut findings);
         rules::debug_macros::check(f, &mut findings);
         rules::hot_path::check(f, &mut findings);
+        rules::raw_clock::check(f, &mut findings);
         rules::relaxed::check(f, &mut findings);
     }
     rules::lock_order::check(&sources, &mut findings);

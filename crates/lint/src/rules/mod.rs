@@ -9,6 +9,7 @@ pub mod allow_syntax;
 pub mod debug_macros;
 pub mod hot_path;
 pub mod lock_order;
+pub mod raw_clock;
 pub mod relaxed;
 pub mod unsafe_doc;
 pub mod vendor_pin;

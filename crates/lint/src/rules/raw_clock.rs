@@ -1,0 +1,43 @@
+//! `no-raw-clock`: `Instant::now()` is banned in the matcher and core
+//! pipeline ([`crate::RAW_CLOCK_SCOPES`]) — timing there must go through
+//! `gcsm-obs` (`Stopwatch` / `monotonic_micros`) so every measurement lands
+//! on the single trace timeline and the zero-cost-when-disabled contract
+//! holds. Test code is exempt; a deliberate raw clock needs
+//! `// lint:allow(no-raw-clock) -- reason`.
+
+use crate::{Finding, SourceFile, RAW_CLOCK_SCOPES};
+
+fn in_scope(path: &str) -> bool {
+    RAW_CLOCK_SCOPES.iter().any(|m| path == *m || path.starts_with(m))
+}
+
+pub fn check(f: &SourceFile, out: &mut Vec<Finding>) {
+    if !in_scope(&f.path) {
+        return;
+    }
+    let toks = &f.lexed.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if t.text != "Instant" || f.test_mask.get(i).copied().unwrap_or(false) {
+            continue;
+        }
+        // Match the `Instant::now` path shape (`std::time::Instant::now()`
+        // lexes the same way — `Instant` followed by `::` `now`).
+        if toks.get(i + 1).map(|t| t.text.as_str()) != Some(":")
+            || toks.get(i + 2).map(|t| t.text.as_str()) != Some(":")
+            || toks.get(i + 3).map(|t| t.text.as_str()) != Some("now")
+        {
+            continue;
+        }
+        if f.suppressed("no-raw-clock", t.line) {
+            continue;
+        }
+        out.push(Finding {
+            rule: "no-raw-clock",
+            file: f.path.clone(),
+            line: t.line,
+            message: "`Instant::now()` in an obs-instrumented module; use \
+                      `gcsm_obs::Stopwatch` / `gcsm_obs::monotonic_micros` instead"
+                .into(),
+        });
+    }
+}

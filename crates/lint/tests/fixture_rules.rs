@@ -57,6 +57,20 @@ fn relaxed_fires_and_clean() {
 }
 
 #[test]
+fn raw_clock_fires_and_clean() {
+    let scope = "crates/core/src/stream/fx.rs";
+    let f = lint_file(scope, &fixture("raw_clock_fires.rs"));
+    assert_eq!(rules_fired(&f), vec!["no-raw-clock"], "{f:?}");
+    // Imported and fully-qualified forms: two distinct sites.
+    assert_eq!(f.len(), 2, "{f:?}");
+    let c = lint_file(scope, &fixture("raw_clock_clean.rs"));
+    assert!(c.is_empty(), "{c:?}");
+    // Out of scope (e.g. the obs crate itself): raw clocks are fine.
+    let o = lint_file("crates/obs/src/clock.rs", &fixture("raw_clock_fires.rs"));
+    assert!(o.is_empty(), "{o:?}");
+}
+
+#[test]
 fn lock_order_fires_direct_and_via_call() {
     let f = lint_file("crates/gpusim/src/fx.rs", &fixture("lock_order_fires.rs"));
     assert_eq!(rules_fired(&f), vec!["lock-order"], "{f:?}");

@@ -1,0 +1,20 @@
+// Fixture: obs-clock timing, a suppressed raw clock, and a test-only raw
+// clock are all clean under `no-raw-clock`.
+
+pub fn timed() -> f64 {
+    let sw = gcsm_obs::Stopwatch::start();
+    sw.elapsed_seconds()
+}
+
+pub fn calibrate() -> std::time::Instant {
+    // lint:allow(no-raw-clock) -- one-off calibration against the OS clock
+    std::time::Instant::now()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn raw_clock_ok_in_tests() {
+        let _ = std::time::Instant::now();
+    }
+}

@@ -1,0 +1,9 @@
+// Fixture: `Instant::now()` in an obs-instrumented module must fire
+// `no-raw-clock` — both the imported and the fully-qualified form.
+use std::time::Instant;
+
+pub fn timed() -> f64 {
+    let t0 = Instant::now();
+    let t1 = std::time::Instant::now();
+    t1.duration_since(t0).as_secs_f64()
+}

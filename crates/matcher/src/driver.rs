@@ -131,6 +131,33 @@ pub fn match_incremental<S: NeighborSource>(
 ) -> MatchStats {
     let plans = compile_incremental(q, opts.plan);
     let tasks = delta_seeds(&plans, batch);
+    // `delta_seeds` is plan-major: the tasks of plan `i` form one
+    // contiguous chunk of `batch.len() * 2` seeds, so with tracing on each
+    // ΔM_i level runs under its own `dm_i` span. Totals are unchanged —
+    // the chunks partition the same task list.
+    let stride = batch.len() * 2;
+    if gcsm_obs::enabled() && stride > 0 {
+        let mut acc = MatchStats::default();
+        for (level, chunk) in tasks.chunks(stride).enumerate() {
+            let mut span = gcsm_obs::span("dm_i", gcsm_obs::cat::MATCHER);
+            span.set_level(level as u32);
+            span.set_count(chunk.len() as u64);
+            acc.merge(run_tasks(src, &plans, chunk, opts));
+        }
+        acc
+    } else {
+        run_tasks(src, &plans, &tasks, opts)
+    }
+}
+
+/// Run a slice of `(plan, seed, seed, sign)` tasks, serially or in
+/// parallel, and sum the stats.
+fn run_tasks<S: NeighborSource>(
+    src: &S,
+    plans: &[MatchPlan],
+    tasks: &[(usize, VertexId, VertexId, i64)],
+    opts: &DriverOptions,
+) -> MatchStats {
     if opts.parallel {
         tasks
             .par_iter()
@@ -146,7 +173,7 @@ pub fn match_incremental<S: NeighborSource>(
     } else {
         let mut scratch = (Scratch::default(), StackScratch::default());
         let mut acc = MatchStats::default();
-        for &(pi, a, b, sign) in &tasks {
+        for &(pi, a, b, sign) in tasks {
             acc.merge(run_seed(src, &plans[pi], a, b, sign, opts, &mut scratch));
         }
         acc

@@ -1,0 +1,196 @@
+//! `obs-validate` — offline checker for exported observability artifacts.
+//!
+//! ```text
+//! obs-validate --trace out.trace.json --require ingest,seal,delta_build,dm_i,reorganize \
+//!              --metrics out.metrics.json
+//! ```
+//!
+//! Validates that a Chrome trace-event file parses, every event is a
+//! well-formed complete (`"ph":"X"`) event, spans on each thread are
+//! strictly nested with monotone timestamps, and all `--require`d phase
+//! names appear; and that a metrics snapshot parses as an object of
+//! numbers / histogram objects. Exit 0 on success, 1 with a message
+//! otherwise. CI runs this against the `csm --trace` smoke workload.
+
+use gcsm_obs::{parse, Value};
+
+struct Args {
+    trace: Option<String>,
+    metrics: Option<String>,
+    require: Vec<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut a = Args { trace: None, metrics: None, require: Vec::new() };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let need = |i: usize| -> Result<&String, String> {
+            argv.get(i + 1).ok_or_else(|| format!("{} needs a value", argv[i]))
+        };
+        match argv[i].as_str() {
+            "--trace" => {
+                a.trace = Some(need(i)?.clone());
+                i += 1;
+            }
+            "--metrics" => {
+                a.metrics = Some(need(i)?.clone());
+                i += 1;
+            }
+            "--require" => {
+                a.require = need(i)?.split(',').map(|s| s.trim().to_string()).collect();
+                i += 1;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: obs-validate [--trace FILE [--require name,name,..]] [--metrics FILE]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+        i += 1;
+    }
+    if a.trace.is_none() && a.metrics.is_none() {
+        return Err("need --trace and/or --metrics".into());
+    }
+    Ok(a)
+}
+
+struct Span {
+    name: String,
+    ts: u64,
+    end: u64,
+    tid: u64,
+}
+
+fn validate_trace(path: &str, require: &[String]) -> Result<usize, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let doc = parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(Value::as_arr)
+        .ok_or_else(|| format!("{path}: missing traceEvents array"))?;
+    let mut spans = Vec::with_capacity(events.len());
+    for (i, ev) in events.iter().enumerate() {
+        let field = |k: &str| ev.get(k).ok_or_else(|| format!("{path}: event {i} missing '{k}'"));
+        let ph = field("ph")?.as_str().unwrap_or("");
+        if ph != "X" {
+            return Err(format!("{path}: event {i} has ph '{ph}', expected complete event 'X'"));
+        }
+        let name = field("name")?
+            .as_str()
+            .ok_or_else(|| format!("{path}: event {i} name is not a string"))?
+            .to_string();
+        field("cat")?;
+        field("pid")?;
+        let ts = field("ts")?
+            .as_u64()
+            .ok_or_else(|| format!("{path}: event {i} ts is not a non-negative integer"))?;
+        let dur = field("dur")?
+            .as_u64()
+            .ok_or_else(|| format!("{path}: event {i} dur is not a non-negative integer"))?;
+        let tid = field("tid")?
+            .as_u64()
+            .ok_or_else(|| format!("{path}: event {i} tid is not a non-negative integer"))?;
+        spans.push(Span { name, ts, end: ts + dur, tid });
+    }
+    for want in require {
+        if !spans.iter().any(|s| &s.name == want) {
+            return Err(format!("{path}: required phase '{want}' not present in trace"));
+        }
+    }
+    check_nesting(path, &mut spans)?;
+    Ok(spans.len())
+}
+
+/// Per thread: events must be sorted by start time and each span must be
+/// disjoint from or fully contained in any earlier still-open span.
+fn check_nesting(path: &str, spans: &mut [Span]) -> Result<(), String> {
+    spans.sort_by(|a, b| a.tid.cmp(&b.tid).then(a.ts.cmp(&b.ts)).then(b.end.cmp(&a.end)));
+    let mut stack: Vec<(u64, u64)> = Vec::new(); // (end, tid) of open spans
+    let mut last: Option<(u64, u64)> = None; // (tid, ts)
+    for s in spans.iter() {
+        if let Some((tid, ts)) = last {
+            if tid == s.tid && s.ts < ts {
+                return Err(format!("{path}: tid {tid} timestamps not monotone"));
+            }
+            if tid != s.tid {
+                stack.clear();
+            }
+        }
+        while let Some(&(end, tid)) = stack.last() {
+            if tid != s.tid || end <= s.ts {
+                stack.pop();
+            } else {
+                break;
+            }
+        }
+        if let Some(&(end, _)) = stack.last() {
+            if s.end > end {
+                return Err(format!(
+                    "{path}: span '{}' [{}, {}] overlaps enclosing span ending at {} without nesting",
+                    s.name, s.ts, s.end, end
+                ));
+            }
+        }
+        stack.push((s.end, s.tid));
+        last = Some((s.tid, s.ts));
+    }
+    Ok(())
+}
+
+fn validate_metrics(path: &str) -> Result<usize, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let doc = parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let map = match &doc {
+        Value::Obj(m) => m,
+        _ => return Err(format!("{path}: metrics snapshot is not a JSON object")),
+    };
+    for (name, v) in map {
+        match v {
+            Value::Num(_) => {}
+            Value::Obj(_) => {
+                for k in ["count", "sum", "buckets"] {
+                    if v.get(k).is_none() {
+                        return Err(format!("{path}: histogram '{name}' missing '{k}'"));
+                    }
+                }
+            }
+            _ => return Err(format!("{path}: metric '{name}' is neither number nor histogram")),
+        }
+    }
+    Ok(map.len())
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("obs-validate: {e}\ntry --help");
+            std::process::exit(2);
+        }
+    };
+    let mut failed = false;
+    if let Some(path) = &args.trace {
+        match validate_trace(path, &args.require) {
+            Ok(n) => println!("obs-validate: {path}: OK ({n} spans)"),
+            Err(e) => {
+                eprintln!("obs-validate: FAIL: {e}");
+                failed = true;
+            }
+        }
+    }
+    if let Some(path) = &args.metrics {
+        match validate_metrics(path) {
+            Ok(n) => println!("obs-validate: {path}: OK ({n} metrics)"),
+            Err(e) => {
+                eprintln!("obs-validate: FAIL: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,77 @@
+//! Process-wide monotonic clock.
+//!
+//! Every timestamp in the observability layer — span `ts`/`dur` fields,
+//! window-open ages, wall-clock phase attributions — derives from a single
+//! `Instant` anchored at first use. Centralising the raw clock here is what
+//! lets the `no-raw-clock` lint ban `Instant::now()` everywhere else: call
+//! sites take `monotonic_micros()` / `Stopwatch` instead, so traces from
+//! different threads land on one comparable timeline.
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+fn anchor() -> Instant {
+    static ANCHOR: OnceLock<Instant> = OnceLock::new();
+    *ANCHOR.get_or_init(Instant::now)
+}
+
+/// Microseconds since the process-wide anchor (first clock use).
+///
+/// Chrome trace-event timestamps are microseconds, so spans store this
+/// directly. Monotonic and shared across threads.
+pub fn monotonic_micros() -> u64 {
+    anchor().elapsed().as_micros() as u64
+}
+
+/// Nanoseconds since the anchor — for wall-time measurement where
+/// microsecond granularity would round sub-µs phases to zero.
+pub fn monotonic_nanos() -> u64 {
+    anchor().elapsed().as_nanos() as u64
+}
+
+/// A started wall-clock timer. Replaces ad-hoc `Instant::now()` pairs in
+/// measurement code; nanosecond-resolution internally.
+#[derive(Clone, Copy, Debug)]
+pub struct Stopwatch {
+    start_nanos: u64,
+}
+
+impl Stopwatch {
+    pub fn start() -> Self {
+        Stopwatch { start_nanos: monotonic_nanos() }
+    }
+
+    /// Seconds elapsed since `start()`.
+    pub fn elapsed_seconds(&self) -> f64 {
+        self.elapsed_nanos() as f64 * 1e-9
+    }
+
+    pub fn elapsed_nanos(&self) -> u64 {
+        monotonic_nanos().saturating_sub(self.start_nanos)
+    }
+
+    pub fn elapsed_micros(&self) -> u64 {
+        self.elapsed_nanos() / 1_000
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn micros_are_monotonic() {
+        let a = monotonic_micros();
+        let b = monotonic_micros();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn stopwatch_measures_nonnegative_time() {
+        let sw = Stopwatch::start();
+        let busy: u64 = (0..10_000).fold(0, |acc, x| acc ^ (x * 2654435761));
+        assert!(sw.elapsed_seconds() >= 0.0);
+        assert!(sw.elapsed_nanos() >= sw.elapsed_micros() * 1_000);
+        let _ = busy;
+    }
+}

@@ -1,0 +1,428 @@
+//! Metric registry: named counters, gauges, and log-bucketed histograms.
+//!
+//! Handles are `Arc`s handed out by [`Registry::counter`] & co; recording on
+//! a handle is a single relaxed atomic op, lock-free and wait-free. The
+//! registry mutex is touched only at registration and snapshot time, never
+//! on the hot path — call sites register once at setup and stash the handle.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::json_escape;
+
+/// Monotonically increasing event count (`u64`).
+#[derive(Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    pub fn add(&self, n: u64) {
+        // Counters are sum-only; relaxed is enough because snapshots never
+        // infer ordering between two different metrics.
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Point-in-time signed level (`i64`) — queue depths, net match deltas.
+#[derive(Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    pub fn add(&self, d: i64) {
+        self.value.fetch_add(d, Ordering::Relaxed);
+    }
+
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    pub fn dec(&self) {
+        self.add(-1);
+    }
+
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Number of log2 buckets: bucket `i` counts observations in
+/// `[2^(i-1), 2^i)` (bucket 0 holds zeros and ones).
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// Log2-bucketed histogram of `u64` observations (typically latencies in
+/// microseconds). Fixed bucket layout keeps recording allocation-free.
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [const { AtomicU64::new(0) }; HISTOGRAM_BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    pub fn observe(&self, value: u64) {
+        let b = Self::bucket_index(value);
+        self.buckets[b].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Index of the bucket `value` lands in: `0` for 0 and 1, otherwise
+    /// `⌈log2(value)⌉` capped at the last bucket.
+    pub fn bucket_index(value: u64) -> usize {
+        if value <= 1 {
+            0
+        } else {
+            (64 - (value - 1).leading_zeros() as usize).min(HISTOGRAM_BUCKETS - 1)
+        }
+    }
+
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        // Loads may tear against concurrent observes (count vs sum vs
+        // buckets), which snapshots tolerate: each field is individually
+        // consistent and per-batch sampling happens between batches.
+        let mut buckets = Vec::new();
+        for (i, b) in self.buckets.iter().enumerate() {
+            let c = b.load(Ordering::Relaxed);
+            if c > 0 {
+                buckets.push((i as u32, c));
+            }
+        }
+        HistogramSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+
+    fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+    }
+}
+
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+/// Named metric store. Names are dot-separated (`matcher.intersect_ops`,
+/// `stream.queue_depth`); registering the same name twice returns the same
+/// underlying metric, and registering it as a different kind panics —
+/// namespace clashes are programming errors we want loud.
+#[derive(Default)]
+pub struct Registry {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl Registry {
+    // lint:allow(lock-order) -- `Arc::new` inside `or_insert_with` is the
+    // constructor, not a lock acquisition; the name-based call graph
+    // conflates it with unrelated `new()` fns that do lock.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.metrics.lock().unwrap_or_else(|e| e.into_inner());
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Arc::new(Counter::default())))
+        {
+            Metric::Counter(c) => Arc::clone(c),
+            _ => panic!("metric '{name}' already registered with a different kind"),
+        }
+    }
+
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = self.metrics.lock().unwrap_or_else(|e| e.into_inner());
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::default())))
+        {
+            Metric::Gauge(g) => Arc::clone(g),
+            _ => panic!("metric '{name}' already registered with a different kind"),
+        }
+    }
+
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut map = self.metrics.lock().unwrap_or_else(|e| e.into_inner());
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::default())))
+        {
+            Metric::Histogram(h) => Arc::clone(h),
+            _ => panic!("metric '{name}' already registered with a different kind"),
+        }
+    }
+
+    /// Consistent-enough point-in-time copy of every registered metric,
+    /// sorted by name (the map is a `BTreeMap`).
+    pub fn snapshot(&self) -> Snapshot {
+        let map = self.metrics.lock().unwrap_or_else(|e| e.into_inner());
+        let entries = map
+            .iter()
+            .map(|(name, m)| {
+                let value = match m {
+                    Metric::Counter(c) => MetricValue::Counter(c.get()),
+                    Metric::Gauge(g) => MetricValue::Gauge(g.get()),
+                    Metric::Histogram(h) => MetricValue::Histogram(h.snapshot()),
+                };
+                MetricEntry { name: name.clone(), value }
+            })
+            .collect();
+        Snapshot { entries }
+    }
+
+    /// Zero every metric, keeping registrations (and outstanding handles)
+    /// alive. Used between runs and by tests.
+    pub fn reset(&self) {
+        let map = self.metrics.lock().unwrap_or_else(|e| e.into_inner());
+        for m in map.values() {
+            match m {
+                Metric::Counter(c) => c.reset(),
+                Metric::Gauge(g) => g.reset(),
+                Metric::Histogram(h) => h.reset(),
+            }
+        }
+    }
+}
+
+#[derive(Clone, Debug, PartialEq)]
+pub struct HistogramSnapshot {
+    pub count: u64,
+    pub sum: u64,
+    /// `(bucket_index, count)` for non-empty buckets only; bucket `i`
+    /// covers `[2^(i-1), 2^i)` (bucket 0: values 0 and 1).
+    pub buckets: Vec<(u32, u64)>,
+}
+
+impl HistogramSnapshot {
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+#[derive(Clone, Debug, PartialEq)]
+pub enum MetricValue {
+    Counter(u64),
+    Gauge(i64),
+    Histogram(HistogramSnapshot),
+}
+
+#[derive(Clone, Debug, PartialEq)]
+pub struct MetricEntry {
+    pub name: String,
+    pub value: MetricValue,
+}
+
+/// Point-in-time view of the whole registry, renderable as aligned text or
+/// a JSON object keyed by metric name.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Snapshot {
+    pub entries: Vec<MetricEntry>,
+}
+
+impl Snapshot {
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.entries.iter().find(|e| e.name == name).and_then(|e| match &e.value {
+            MetricValue::Counter(v) => Some(*v),
+            _ => None,
+        })
+    }
+
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.entries.iter().find(|e| e.name == name).and_then(|e| match &e.value {
+            MetricValue::Gauge(v) => Some(*v),
+            _ => None,
+        })
+    }
+
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.entries.iter().find(|e| e.name == name).and_then(|e| match &e.value {
+            MetricValue::Histogram(h) => Some(h),
+            _ => None,
+        })
+    }
+
+    /// Aligned `name value` lines; histograms render as `count/sum/mean`.
+    pub fn to_text(&self) -> String {
+        let width = self.entries.iter().map(|e| e.name.len()).max().unwrap_or(0);
+        let mut out = String::new();
+        for e in &self.entries {
+            match &e.value {
+                MetricValue::Counter(v) => {
+                    out.push_str(&format!("{:width$}  {v}\n", e.name));
+                }
+                MetricValue::Gauge(v) => {
+                    out.push_str(&format!("{:width$}  {v}\n", e.name));
+                }
+                MetricValue::Histogram(h) => {
+                    out.push_str(&format!(
+                        "{:width$}  count={} sum={} mean={:.1}\n",
+                        e.name,
+                        h.count,
+                        h.sum,
+                        h.mean()
+                    ));
+                }
+            }
+        }
+        out
+    }
+
+    /// JSON object keyed by metric name. Counters and gauges are plain
+    /// numbers; histograms are `{"count","sum","buckets":[[idx,n],..]}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        for (i, e) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            out.push_str(&json_escape(&e.name));
+            out.push_str("\":");
+            match &e.value {
+                MetricValue::Counter(v) => out.push_str(&v.to_string()),
+                MetricValue::Gauge(v) => out.push_str(&v.to_string()),
+                MetricValue::Histogram(h) => {
+                    out.push_str(&format!(
+                        "{{\"count\":{},\"sum\":{},\"buckets\":[",
+                        h.count, h.sum
+                    ));
+                    for (j, (idx, n)) in h.buckets.iter().enumerate() {
+                        if j > 0 {
+                            out.push(',');
+                        }
+                        out.push_str(&format!("[{idx},{n}]"));
+                    }
+                    out.push_str("]}");
+                }
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_gauge_roundtrip() {
+        let r = Registry::default();
+        let c = r.counter("a.ops");
+        let g = r.gauge("a.depth");
+        c.add(3);
+        c.inc();
+        g.set(10);
+        g.dec();
+        let s = r.snapshot();
+        assert_eq!(s.counter("a.ops"), Some(4));
+        assert_eq!(s.gauge("a.depth"), Some(9));
+        assert_eq!(s.counter("missing"), None);
+    }
+
+    #[test]
+    fn same_name_returns_same_metric() {
+        let r = Registry::default();
+        let c1 = r.counter("x");
+        let c2 = r.counter("x");
+        c1.inc();
+        c2.inc();
+        assert_eq!(r.snapshot().counter("x"), Some(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_clash_panics() {
+        let r = Registry::default();
+        let _c = r.counter("x");
+        let _g = r.gauge("x");
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 0);
+        assert_eq!(Histogram::bucket_index(2), 1);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 2);
+        assert_eq!(Histogram::bucket_index(5), 3);
+        assert_eq!(Histogram::bucket_index(1024), 10);
+        assert_eq!(Histogram::bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn histogram_observe_and_reset() {
+        let r = Registry::default();
+        let h = r.histogram("lat");
+        h.observe(1);
+        h.observe(100);
+        h.observe(100);
+        let s = r.snapshot();
+        let hs = s.histogram("lat").expect("histogram registered");
+        assert_eq!(hs.count, 3);
+        assert_eq!(hs.sum, 201);
+        assert_eq!(hs.buckets, vec![(0, 1), (7, 2)]);
+        r.reset();
+        let hs = r.snapshot();
+        assert_eq!(hs.histogram("lat").map(|h| h.count), Some(0));
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_renders() {
+        let r = Registry::default();
+        r.counter("b.ops").add(2);
+        r.gauge("a.depth").set(-1);
+        r.histogram("c.lat").observe(5);
+        let s = r.snapshot();
+        let names: Vec<&str> = s.entries.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, vec!["a.depth", "b.ops", "c.lat"]);
+        let text = s.to_text();
+        assert!(text.contains("a.depth"));
+        assert!(text.contains("-1"));
+        let json = s.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"b.ops\":2"));
+        assert!(json.contains("\"a.depth\":-1"));
+        assert!(json.contains("\"buckets\":[[3,1]]"));
+    }
+}

@@ -29,6 +29,7 @@ fn rule_catalogue_is_stable() {
             "relaxed-justify",
             "lock-order",
             "no-debug-macros",
+            "no-raw-clock",
             "vendor-pin"
         ]
     );

@@ -1,0 +1,270 @@
+//! The observability layer end to end: zero-cost-when-disabled, Chrome
+//! trace schema + nesting, exact metrics reconciliation with engine stats,
+//! and the stream session's gauges/window spans.
+//!
+//! Every test that flips the process-global [`gcsm_obs::global`] handle
+//! serializes on [`OBS_LOCK`] — the test harness runs this file's tests on
+//! parallel threads within one process, and the obs state is process-wide.
+
+use gcsm::prelude::*;
+use gcsm_graph::{CsrGraph, EdgeUpdate};
+use gcsm_pattern::queries;
+use std::sync::Mutex;
+
+static OBS_LOCK: Mutex<()> = Mutex::new(());
+
+/// Take the global-obs lock and start from a clean, disabled state.
+fn obs_test() -> std::sync::MutexGuard<'static, ()> {
+    let guard = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let obs = gcsm_obs::global();
+    obs.disable();
+    obs.reset();
+    guard
+}
+
+fn setup() -> (CsrGraph, Vec<EdgeUpdate>) {
+    let g0 = CsrGraph::from_edges(8, &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5), (5, 6)]);
+    let updates = vec![
+        EdgeUpdate::insert(2, 4),
+        EdgeUpdate::insert(3, 5),
+        EdgeUpdate::delete(0, 1),
+        EdgeUpdate::insert(4, 6),
+        EdgeUpdate::insert(0, 7),
+        EdgeUpdate::insert(1, 7),
+    ];
+    (g0, updates)
+}
+
+#[test]
+fn disabled_obs_records_nothing_and_results_are_identical() {
+    let _g = obs_test();
+    let obs = gcsm_obs::global();
+    let (g0, updates) = setup();
+
+    let run = || {
+        let mut p = Pipeline::new(g0.clone(), queries::triangle());
+        let mut e = GcsmEngine::new(EngineConfig::default());
+        updates.chunks(2).map(|b| p.process_batch(&mut e, b).matches).collect::<Vec<_>>()
+    };
+
+    let disabled = run();
+    assert_eq!(obs.tracer.spans().0.len(), 0, "disabled run must record no spans");
+    let snap = obs.registry.snapshot();
+    for e in &snap.entries {
+        match &e.value {
+            gcsm_obs::MetricValue::Counter(v) => assert_eq!(*v, 0, "{} nonzero", e.name),
+            gcsm_obs::MetricValue::Gauge(v) => assert_eq!(*v, 0, "{} nonzero", e.name),
+            gcsm_obs::MetricValue::Histogram(h) => assert_eq!(h.count, 0, "{} nonzero", e.name),
+        }
+    }
+
+    obs.enable();
+    let enabled = run();
+    obs.disable();
+    assert_eq!(disabled, enabled, "instrumentation must not change results");
+    assert!(!obs.tracer.spans().0.is_empty(), "enabled run must record spans");
+    obs.reset();
+}
+
+#[test]
+fn disabled_span_overhead_is_a_branch() {
+    let _g = obs_test();
+    let obs = gcsm_obs::global();
+    const N: u64 = 1_000_000;
+
+    // Disabled: each call is one relaxed load plus a no-op guard drop.
+    let t0 = std::time::Instant::now();
+    for _ in 0..N {
+        let _s = gcsm_obs::span("batch", gcsm_obs::cat::PIPELINE);
+    }
+    let disabled = t0.elapsed();
+    assert_eq!(obs.tracer.spans().0.len(), 0);
+
+    // Enabled does strictly more work (two clock reads + a ring push under
+    // a lock), so the disabled path must not be slower on average.
+    obs.enable();
+    let t1 = std::time::Instant::now();
+    for _ in 0..N {
+        let _s = gcsm_obs::span("batch", gcsm_obs::cat::PIPELINE);
+    }
+    let enabled = t1.elapsed();
+    obs.disable();
+    obs.reset();
+
+    let disabled_ns = disabled.as_nanos() as f64 / N as f64;
+    assert!(
+        disabled_ns < 1_000.0,
+        "disabled span costs {disabled_ns:.1} ns/op — more than a branch"
+    );
+    assert!(disabled <= enabled, "disabled path ({disabled:?}) slower than enabled ({enabled:?})");
+}
+
+/// Per-tid strict nesting + monotone starts, mirroring what Perfetto needs:
+/// after sorting by (ts, dur desc), every span must close before the
+/// enclosing one does.
+fn assert_nested(events: &[(u64, u64, u64)]) {
+    let mut by_tid: std::collections::BTreeMap<u64, Vec<(u64, u64)>> = Default::default();
+    for &(tid, ts, dur) in events {
+        by_tid.entry(tid).or_default().push((ts, dur));
+    }
+    for (tid, mut spans) in by_tid {
+        spans.sort_by(|a, b| a.0.cmp(&b.0).then(b.1.cmp(&a.1)));
+        let mut stack: Vec<(u64, u64)> = Vec::new();
+        for (ts, dur) in spans {
+            let end = ts + dur;
+            while let Some(&(_, open_end)) = stack.last() {
+                if ts >= open_end {
+                    stack.pop();
+                } else {
+                    break;
+                }
+            }
+            if let Some(&(open_ts, open_end)) = stack.last() {
+                assert!(
+                    end <= open_end,
+                    "tid {tid}: span [{ts},{end}] overlaps enclosing [{open_ts},{open_end}]"
+                );
+            }
+            stack.push((ts, end));
+        }
+    }
+}
+
+#[test]
+fn chrome_trace_export_has_phases_and_nests() {
+    let _g = obs_test();
+    let obs = gcsm_obs::global();
+    obs.enable();
+
+    let (g0, updates) = setup();
+    let mut p = Pipeline::new(g0, queries::triangle());
+    let mut e = GcsmEngine::new(EngineConfig::default());
+    for b in updates.chunks(2) {
+        p.process_batch(&mut e, b);
+    }
+    let json = obs.tracer.to_chrome_json();
+    obs.disable();
+    obs.reset();
+
+    let v = gcsm_obs::parse(&json).expect("trace JSON parses");
+    let events = v.get("traceEvents").and_then(|e| e.as_arr()).expect("traceEvents array");
+    assert!(!events.is_empty());
+
+    let mut names = std::collections::BTreeSet::new();
+    let mut intervals = Vec::new();
+    for ev in events {
+        assert_eq!(ev.get("ph").and_then(|p| p.as_str()), Some("X"), "complete events only");
+        assert_eq!(ev.get("pid").and_then(|p| p.as_u64()), Some(1));
+        let name = ev.get("name").and_then(|n| n.as_str()).expect("name");
+        assert!(ev.get("cat").and_then(|c| c.as_str()).is_some(), "cat");
+        let tid = ev.get("tid").and_then(|t| t.as_u64()).expect("tid");
+        let ts = ev.get("ts").and_then(|t| t.as_u64()).expect("ts");
+        let dur = ev.get("dur").and_then(|d| d.as_u64()).expect("dur");
+        names.insert(name.to_string());
+        intervals.push((tid, ts, dur));
+    }
+    for required in [
+        "batch",
+        "ingest",
+        "seal",
+        "delta_build",
+        "freq_est",
+        "data_copy",
+        "matching",
+        "dm_i",
+        "merge",
+        "reorganize",
+    ] {
+        assert!(names.contains(required), "missing phase '{required}' in {names:?}");
+    }
+    assert_nested(&intervals);
+}
+
+#[test]
+fn metrics_reconcile_exactly_with_engine_stats() {
+    let _g = obs_test();
+    let obs = gcsm_obs::global();
+    obs.enable();
+
+    let (g0, updates) = setup();
+    let mut p = Pipeline::new(g0, queries::triangle());
+    let mut e = GcsmEngine::new(EngineConfig::default());
+    let (mut ops, mut accesses, mut matches, mut batches) = (0u64, 0u64, 0i64, 0u64);
+    for b in updates.chunks(2) {
+        let r = p.process_batch(&mut e, b);
+        ops += r.stats.intersect_ops;
+        accesses += r.stats.list_accesses;
+        matches += r.matches;
+        batches += 1;
+    }
+    let snap = obs.registry.snapshot();
+    obs.disable();
+    obs.reset();
+
+    assert_eq!(snap.counter("matcher.intersect_ops"), Some(ops));
+    assert_eq!(snap.counter("matcher.list_accesses"), Some(accesses));
+    assert_eq!(snap.gauge("matcher.matches"), Some(matches));
+    assert_eq!(snap.counter("pipeline.batches"), Some(batches));
+    assert_eq!(snap.histogram("pipeline.batch_wall_us").map(|h| h.count), Some(batches));
+}
+
+#[test]
+fn stream_session_gauges_and_window_spans() {
+    let _g = obs_test();
+    let obs = gcsm_obs::global();
+    obs.enable();
+
+    let (g0, updates) = setup();
+    let pipeline = Pipeline::new(g0, queries::triangle());
+    let session = gcsm::stream::spawn_pipeline(
+        pipeline,
+        Box::new(GcsmEngine::new(EngineConfig::default())),
+        0,
+        gcsm::stream::StreamConfig { seal_policy: SealPolicy::Size(2), ..Default::default() },
+    );
+    assert_eq!(session.blocked_producers(), 0);
+    assert_eq!(session.dropped_updates(), 0);
+    let p = session.producer();
+    for &u in &updates {
+        assert!(p.ingest(u));
+    }
+    drop(p);
+    let (report, _) = session.finish();
+
+    let snap = obs.registry.snapshot();
+    let (spans, _) = obs.tracer.spans();
+    obs.disable();
+    obs.reset();
+
+    let sealed = report.batches.len() as u64;
+    assert!(sealed >= 3, "expected several sealed batches, got {sealed}");
+    assert_eq!(snap.counter("stream.batches_sealed"), Some(sealed));
+    assert_eq!(snap.counter("stream.updates_admitted"), Some(updates.len() as u64));
+    assert_eq!(snap.gauge("stream.dropped_updates"), Some(0));
+    assert!(snap.gauge("stream.queue_depth").is_some());
+    let windows = spans.iter().filter(|s| s.name == "window").count() as u64;
+    assert_eq!(windows, sealed, "one window span per sealed batch");
+    // Window spans sit on the stream category so traces group them.
+    assert!(spans.iter().filter(|s| s.name == "window").all(|s| s.cat == gcsm_obs::cat::STREAM));
+}
+
+#[test]
+fn metrics_json_round_trips_through_parser() {
+    // Local registry: no global state, no lock needed.
+    let reg = gcsm_obs::Registry::default();
+    reg.counter("a.count").add(42);
+    reg.gauge("b.gauge").set(-7);
+    for v in [0u64, 1, 3, 900, 5000] {
+        reg.histogram("c.hist").observe(v);
+    }
+    let json = reg.snapshot().to_json();
+    let v = gcsm_obs::parse(&json).expect("metrics JSON parses");
+    assert_eq!(v.get("a.count").and_then(|x| x.as_u64()), Some(42));
+    assert_eq!(v.get("b.gauge").and_then(|x| x.as_i64()), Some(-7));
+    let h = v.get("c.hist").expect("histogram object");
+    assert_eq!(h.get("count").and_then(|x| x.as_u64()), Some(5));
+    assert_eq!(h.get("sum").and_then(|x| x.as_u64()), Some(5904));
+    let buckets = h.get("buckets").and_then(|b| b.as_arr()).expect("buckets");
+    let total: u64 = buckets.iter().filter_map(|b| b.as_arr()).filter_map(|b| b[1].as_u64()).sum();
+    assert_eq!(total, 5, "bucket counts cover every observation");
+}
