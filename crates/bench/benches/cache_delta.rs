@@ -1,0 +1,68 @@
+//! Wall-clock counterpart of the `repro cache_delta` experiment: the
+//! {full,delta} × {serial,overlap} grid on a dense ER graph with a stable
+//! hot set. The repro table reports the *simulated* DMA and latency win;
+//! this measures the host-side cost of the same four configurations —
+//! delta planning + packing vs. full repack, and the overlapped
+//! reorganize (which moves merge work off the critical path at the price
+//! of a thread spawn per batch).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gcsm::prelude::*;
+use gcsm_datagen::temporal::{temporal_stream, TemporalConfig};
+use gcsm_graph::EdgeUpdate;
+use gcsm_pattern::queries;
+
+fn workload() -> (gcsm_graph::CsrGraph, Vec<Vec<EdgeUpdate>>) {
+    let n = 512usize;
+    let initial = gcsm_datagen::er::gnm(n, 32 * n, 42);
+    let stream = temporal_stream(
+        &initial,
+        &TemporalConfig {
+            updates: 256 * 6,
+            locality: 1.0,
+            region: 32,
+            drift_every: usize::MAX,
+            seed: 9,
+        },
+    );
+    let batches = stream.chunks(256).map(<[EdgeUpdate]>::to_vec).collect();
+    (initial, batches)
+}
+
+fn bench_cache_delta(c: &mut Criterion) {
+    let (initial, batches) = workload();
+    let budget = initial.adjacency_bytes() * 2;
+    let base =
+        EngineConfig { walks_override: Some(4_000), ..EngineConfig::with_cache_budget(budget) };
+    let delta = EngineConfig { delta_cache: true, ..base.clone() };
+    let mut group = c.benchmark_group("cache_delta_stream");
+    group.sample_size(10);
+    for (name, cfg, overlap) in [
+        ("full_serial", &base, false),
+        ("full_overlap", &base, true),
+        ("delta_serial", &delta, false),
+        ("delta_overlap", &delta, true),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(name),
+            &(cfg, overlap),
+            |b, &(cfg, overlap)| {
+                b.iter(|| {
+                    let mut engine = GcsmEngine::new(cfg.clone());
+                    let mut pipeline = Pipeline::new(initial.clone(), queries::fig1_kite());
+                    pipeline.set_overlap(overlap);
+                    let mut dm = 0i64;
+                    for batch in &batches {
+                        dm += pipeline.process_batch(&mut engine, batch).matches;
+                    }
+                    pipeline.flush();
+                    dm
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cache_delta);
+criterion_main!(benches);

@@ -33,6 +33,8 @@ struct Args {
     preset: String,
     metrics: Option<String>,
     trace: Option<String>,
+    cache_delta: bool,
+    overlap: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -51,6 +53,8 @@ fn parse_args() -> Result<Args, String> {
         preset: "social".into(),
         metrics: None,
         trace: None,
+        cache_delta: false,
+        overlap: false,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -86,6 +90,8 @@ fn parse_args() -> Result<Args, String> {
             "--unique" => a.unique = true,
             "--demo" => a.demo = true,
             "--stream" => a.stream = true,
+            "--cache-delta" => a.cache_delta = true,
+            "--overlap" => a.overlap = true,
             "--producers" => {
                 a.producers = need(i)?.parse().map_err(|e| format!("--producers: {e}"))?;
                 i += 1;
@@ -114,7 +120,7 @@ fn parse_args() -> Result<Args, String> {
                     "usage: csm [--graph FILE --updates FILE | --demo [--preset social|er]] \
                      [--query NAME|SPEC] [--engine gcsm|zp|um|vsgm|naive|cpu|rf] \
                      [--batch-size N] [--budget FRAC] [--unique] [--collect K] \
-                     [--stream [--producers N]] \
+                     [--cache-delta] [--overlap] [--stream [--producers N]] \
                      [--metrics FILE.json] [--trace FILE.trace.json]"
                 );
                 std::process::exit(0);
@@ -205,6 +211,7 @@ fn main() {
     let budget = ((graph.adjacency_bytes() as f64 * args.budget_frac) as usize).max(64 << 10);
     let mut cfg = EngineConfig::with_cache_budget(budget);
     cfg.plan.symmetry_break = args.unique;
+    cfg.delta_cache = args.cache_delta;
     let mut engine = make_engine(&args.engine, cfg).unwrap_or_else(|e| {
         eprintln!("csm: --engine {}: {e}", args.engine);
         std::process::exit(2);
@@ -228,6 +235,7 @@ fn main() {
     }
 
     let mut pipeline = Pipeline::new(graph, query);
+    pipeline.set_overlap(args.overlap);
     let mut cumulative = 0i64;
     let mut total_ms = 0.0;
     let unit = if args.unique { "subgraphs" } else { "embeddings" };
@@ -258,6 +266,7 @@ fn main() {
             );
         }
     }
+    pipeline.flush();
     println!(
         "done: {} batches, net {cumulative:+} {unit}, {:.3} ms total simulated time",
         batches.len(),
@@ -299,7 +308,8 @@ fn run_stream_mode(
     args: &Args,
 ) {
     let producers = args.producers.max(1);
-    let pipeline = Pipeline::new(graph, query);
+    let mut pipeline = Pipeline::new(graph, query);
+    pipeline.set_overlap(args.overlap);
     let base = pipeline.static_count(args.unique);
     println!(
         "stream mode: {} producers, seal at {} survivors, count(G_0) = {base}",

@@ -7,12 +7,33 @@
 //! transfer plan: rows to add, rows to drop, and rows whose lists changed
 //! (their vertex was updated this batch) and must be re-sent.
 //!
+//! **Seal-time snapshot invariant.** The `updated` set handed to
+//! [`DeltaPlan::diff`] / [`DeltaPlanner::update`] must be the one captured
+//! when the batch was sealed — [`updated_set`] derives it from the sealed
+//! [`BatchSummary`](gcsm_graph::BatchSummary), independent of graph phase.
+//! `DynamicGraph::updated_vertices()` is cleared by `reorganize()`, so
+//! diffing against the live graph after (or concurrently with)
+//! reorganization would silently classify changed rows as `keep` and leave
+//! a stale device cache.
+//!
 //! The ablation bench (`cache_delta` in `gcsm-bench`) quantifies the DMA
 //! saved. Correctness is unaffected: the packed result is byte-identical
-//! to a fresh pack (tested below), so the matcher sees the same cache.
+//! to a fresh pack of the surviving selection (tested below), so the
+//! matcher sees the same cache.
 
 use crate::Dcsr;
-use gcsm_graph::{DynamicGraph, VertexId};
+use gcsm_graph::{DynamicGraph, EdgeUpdate, VertexId};
+
+/// Sorted, deduplicated endpoints of a sealed batch — the seal-time
+/// snapshot of `DynamicGraph::updated_vertices()`, derivable from the
+/// [`BatchSummary`](gcsm_graph::BatchSummary) alone so it stays valid after
+/// (or during an overlapped) `reorganize()`.
+pub fn updated_set(applied: &[EdgeUpdate]) -> Vec<VertexId> {
+    let mut v: Vec<VertexId> = applied.iter().flat_map(|u| [u.src, u.dst]).collect();
+    v.sort_unstable();
+    v.dedup();
+    v
+}
 
 /// A minimal-transfer plan between two consecutive cache generations.
 #[derive(Clone, Debug, Default)]
@@ -25,11 +46,14 @@ pub struct DeltaPlan {
     pub refresh: Vec<VertexId>,
     /// Still-selected, unchanged vertices (no transfer needed).
     pub keep: Vec<VertexId>,
+    /// Selected vertices evicted to honor the device-memory budget (they
+    /// are *not* resident and not part of the packed cache).
+    pub evicted: Vec<VertexId>,
 }
 
 impl DeltaPlan {
     /// Diff `new_selection` (sorted) against `resident` (sorted) given the
-    /// batch's updated vertices (sorted).
+    /// batch's seal-time updated set (sorted; see [`updated_set`]).
     pub fn diff(resident: &[VertexId], new_selection: &[VertexId], updated: &[VertexId]) -> Self {
         let mut plan = DeltaPlan::default();
         let (mut i, mut j) = (0, 0);
@@ -71,18 +95,35 @@ impl DeltaPlan {
         self.add.iter().chain(&self.refresh).map(|&v| graph.list_bytes(v)).sum()
     }
 
-    /// Fraction of the full-pack volume this plan avoids.
+    /// Fraction of the full-pack volume this plan avoids. An empty
+    /// `full_selection` means nothing needed shipping at all, so everything
+    /// was saved: 1.0 (not 0.0, which would read as "shipped everything").
     pub fn savings(&self, graph: &DynamicGraph, full_selection: &[VertexId]) -> f64 {
         let full: usize = full_selection.iter().map(|&v| graph.list_bytes(v)).sum();
         if full == 0 {
-            return 0.0;
+            return 1.0;
         }
         1.0 - self.transfer_bytes(graph) as f64 / full as f64
     }
+
+    /// Remove `evicted` (sorted) from the add/refresh/keep partitions and
+    /// record them, so transfer and residency reflect only survivors.
+    fn apply_eviction(&mut self, evicted: Vec<VertexId>) {
+        if evicted.is_empty() {
+            return;
+        }
+        let gone = |v: &VertexId| evicted.binary_search(v).is_err();
+        self.add.retain(gone);
+        self.refresh.retain(gone);
+        self.keep.retain(gone);
+        self.evicted = evicted;
+    }
 }
 
-/// Stateful incremental cache builder.
-#[derive(Default)]
+/// Stateful incremental cache builder: tracks which rows are device
+/// resident across batches and turns each new selection into a minimal
+/// transfer plan plus the packed cache image.
+#[derive(Clone, Debug, Default)]
 pub struct DeltaPlanner {
     resident: Vec<VertexId>,
 }
@@ -97,14 +138,64 @@ impl DeltaPlanner {
         &self.resident
     }
 
-    /// Plan the transfer for `selection`, rebuild the (logical) cache, and
-    /// report the plan. The returned [`Dcsr`] equals a fresh pack of
-    /// `selection`; the plan tells the caller how many bytes actually need
-    /// shipping.
-    pub fn update(&mut self, graph: &DynamicGraph, selection: &[VertexId]) -> (Dcsr, DeltaPlan) {
-        let plan = DeltaPlan::diff(&self.resident, selection, graph.updated_vertices());
-        let dcsr = Dcsr::pack(graph, selection);
-        self.resident = selection.to_vec();
+    /// Drop all residency state (e.g. after a device reset).
+    pub fn clear(&mut self) {
+        self.resident.clear();
+    }
+
+    /// Plan the transfer for `selection` given the batch's seal-time
+    /// `updated` snapshot (see [`updated_set`]), rebuild the (logical)
+    /// cache, and report the plan. The returned [`Dcsr`] equals a fresh
+    /// pack of `selection`; the plan tells the caller how many bytes
+    /// actually need shipping.
+    pub fn update(
+        &mut self,
+        graph: &DynamicGraph,
+        selection: &[VertexId],
+        updated: &[VertexId],
+    ) -> (Dcsr, DeltaPlan) {
+        self.update_bounded(graph, selection, updated, usize::MAX)
+    }
+
+    /// Like [`Self::update`], but enforces a device-memory capacity of
+    /// `budget_bytes` on the resident footprint (row payload + per-row DCSR
+    /// metadata). When the selection exceeds the budget at current list
+    /// sizes, the largest rows are evicted first (ties broken by vertex id)
+    /// until the rest fits; evictions are recorded in the plan and excluded
+    /// from both the packed cache and the new resident set.
+    pub fn update_bounded(
+        &mut self,
+        graph: &DynamicGraph,
+        selection: &[VertexId],
+        updated: &[VertexId],
+        budget_bytes: usize,
+    ) -> (Dcsr, DeltaPlan) {
+        let mut plan = DeltaPlan::diff(&self.resident, selection, updated);
+        let footprint: usize =
+            selection.iter().map(|&v| graph.list_bytes(v) + Dcsr::ROW_META_BYTES).sum();
+        let survivors: Vec<VertexId> = if footprint > budget_bytes {
+            let mut rows: Vec<(usize, VertexId)> =
+                selection.iter().map(|&v| (graph.list_bytes(v), v)).collect();
+            rows.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+            let mut excess = footprint - budget_bytes;
+            let mut evicted = Vec::new();
+            for (bytes, v) in rows {
+                if excess == 0 {
+                    break;
+                }
+                evicted.push(v);
+                excess = excess.saturating_sub(bytes + Dcsr::ROW_META_BYTES);
+            }
+            evicted.sort_unstable();
+            let keep =
+                selection.iter().copied().filter(|v| evicted.binary_search(v).is_err()).collect();
+            plan.apply_eviction(evicted);
+            keep
+        } else {
+            selection.to_vec()
+        };
+        let dcsr = Dcsr::pack(graph, &survivors);
+        self.resident = survivors;
         (dcsr, plan)
     }
 }
@@ -127,6 +218,7 @@ mod tests {
         assert_eq!(plan.add, vec![4, 6]);
         assert_eq!(plan.refresh, vec![3]);
         assert_eq!(plan.keep, vec![2]);
+        assert!(plan.evicted.is_empty());
     }
 
     #[test]
@@ -136,6 +228,16 @@ mod tests {
         assert_eq!(plan.add, vec![1, 2]);
         assert_eq!(plan.transfer_bytes(&g), g.list_bytes(1) + g.list_bytes(2));
         assert_eq!(plan.savings(&g, &[1, 2]), 0.0);
+    }
+
+    #[test]
+    fn savings_is_total_when_nothing_needs_shipping() {
+        let g = sealed(&[(0, 1)], &[EdgeUpdate::insert(1, 2)]);
+        let plan = DeltaPlan::diff(&[], &[], &[]);
+        // Empty full selection: everything was saved, not "shipped all".
+        assert_eq!(plan.savings(&g, &[]), 1.0);
+        // Zero-byte rows (isolated vertices) degenerate the same way.
+        assert_eq!(plan.savings(&g, &[6, 7]), 1.0);
     }
 
     #[test]
@@ -154,12 +256,73 @@ mod tests {
         let g = sealed(&[(0, 1), (0, 2), (1, 2), (2, 3)], &[EdgeUpdate::insert(3, 4)]);
         let selection = vec![0u32, 2, 3];
         let mut planner = DeltaPlanner::new();
-        let (dcsr, plan) = planner.update(&g, &selection);
+        let (dcsr, plan) = planner.update(&g, &selection, g.updated_vertices());
         let fresh = Dcsr::pack(&g, &selection);
         assert_eq!(dcsr.rowidx, fresh.rowidx);
         assert_eq!(dcsr.rowptr, fresh.rowptr);
         assert_eq!(dcsr.colidx, fresh.colidx);
         assert_eq!(plan.add, selection);
         assert_eq!(planner.resident(), &selection[..]);
+    }
+
+    #[test]
+    fn updated_set_matches_seal_time_snapshot() {
+        let mut g =
+            DynamicGraph::from_csr(&CsrGraph::from_edges(8, &[(0, 1), (1, 2), (2, 3), (3, 4)]));
+        g.begin_batch();
+        g.apply(EdgeUpdate::insert(1, 4));
+        g.apply(EdgeUpdate::delete(2, 3));
+        g.apply(EdgeUpdate::insert(0, 1)); // duplicate — skipped
+        let summary = g.seal_batch();
+        assert_eq!(updated_set(&summary.applied), g.updated_vertices());
+    }
+
+    #[test]
+    fn planner_stays_correct_after_reorganize() {
+        // Regression: diffing against graph.updated_vertices() after
+        // reorganize() sees an empty set and misclassifies changed rows as
+        // `keep`. The seal-time snapshot keeps the refresh visible.
+        let mut g = sealed(&[(0, 1), (1, 2), (2, 3)], &[EdgeUpdate::insert(1, 3)]);
+        let snapshot = updated_set(&g.sealed_batch().applied);
+        let mut planner = DeltaPlanner::new();
+        planner.update(&g, &[0, 1, 2], &snapshot); // warm residency
+        g.reorganize();
+        assert!(g.updated_vertices().is_empty());
+        let (_, plan) = planner.update(&g, &[0, 1, 2], &snapshot);
+        assert_eq!(plan.refresh, vec![1], "changed row must refresh, not keep");
+        assert_eq!(plan.keep, vec![0, 2]);
+    }
+
+    #[test]
+    fn eviction_honors_budget_and_prefers_large_rows() {
+        let g =
+            sealed(&[(0, 1), (0, 2), (0, 3), (0, 4), (1, 2), (3, 4)], &[EdgeUpdate::insert(5, 6)]);
+        // Row 0 has degree 4 (largest). Budget that fits all but one row at
+        // current sizes forces evicting row 0 first.
+        let selection = vec![0u32, 1, 2, 3];
+        let full: usize = selection.iter().map(|&v| g.list_bytes(v) + Dcsr::ROW_META_BYTES).sum();
+        let budget = full - 1;
+        let mut planner = DeltaPlanner::new();
+        let (dcsr, plan) = planner.update_bounded(&g, &selection, &[5, 6], budget);
+        assert_eq!(plan.evicted, vec![0]);
+        assert_eq!(dcsr.rowidx, vec![1, 2, 3]);
+        assert_eq!(planner.resident(), &[1, 2, 3]);
+        // Evicted rows ship nothing.
+        assert!(!plan.add.contains(&0));
+        let resident_bytes: usize =
+            planner.resident().iter().map(|&v| g.list_bytes(v) + Dcsr::ROW_META_BYTES).sum();
+        assert!(resident_bytes <= budget);
+        // Packed image equals a fresh pack of the survivors.
+        let fresh = Dcsr::pack(&g, &[1, 2, 3]);
+        assert_eq!(dcsr.colidx, fresh.colidx);
+    }
+
+    #[test]
+    fn eviction_is_stable_for_generous_budget() {
+        let g = sealed(&[(0, 1), (1, 2)], &[EdgeUpdate::insert(2, 3)]);
+        let mut planner = DeltaPlanner::new();
+        let (_, plan) = planner.update_bounded(&g, &[0, 1, 2], &[2, 3], usize::MAX);
+        assert!(plan.evicted.is_empty());
+        assert_eq!(planner.resident(), &[0, 1, 2]);
     }
 }

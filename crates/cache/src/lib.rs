@@ -22,7 +22,7 @@
 //! reformatting — the same trick the CPU-side layout uses.
 
 pub mod delta;
-pub use delta::{DeltaPlan, DeltaPlanner};
+pub use delta::{updated_set, DeltaPlan, DeltaPlanner};
 
 use gcsm_graph::{DynamicGraph, NeighborView, VertexId};
 
@@ -42,6 +42,12 @@ pub struct Dcsr {
 }
 
 impl Dcsr {
+    /// Per-row metadata bytes beyond the raw list payload: one `rowidx`
+    /// entry plus one `(i64, i64)` `rowptr` pair. Used when budgeting the
+    /// device-resident footprint of a selection.
+    pub const ROW_META_BYTES: usize =
+        std::mem::size_of::<VertexId>() + std::mem::size_of::<(i64, i64)>();
+
     /// Pack the raw lists of `vertices` (must be sorted ascending, no
     /// duplicates) from the sealed dynamic graph. The three arrays are
     /// sized exactly (the paper: "the sizes of the three arrays are known

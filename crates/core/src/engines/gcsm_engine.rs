@@ -17,7 +17,7 @@ use crate::config::EngineConfig;
 use crate::kernel::run_gpu_kernel_with_plans;
 use crate::result::{BatchResult, PhaseBreakdown};
 use crate::sources::CachedSource;
-use gcsm_cache::{Dcsr, DeltaPlanner};
+use gcsm_cache::{Dcsr, DeltaPlan, DeltaPlanner};
 use gcsm_freq::{
     estimate_merged, recommended_walks, select_top_frequency, FreqEstimate, WalkParams,
 };
@@ -38,6 +38,8 @@ pub struct GcsmEngine {
     last_walks: u64,
     /// Incremental-cache state (used when `cfg.delta_cache` is on).
     planner: DeltaPlanner,
+    /// Transfer plan of the most recent delta-cached batch.
+    last_plan: Option<DeltaPlan>,
 }
 
 impl GcsmEngine {
@@ -50,7 +52,19 @@ impl GcsmEngine {
             last_selection: Vec::new(),
             last_walks: 0,
             planner: DeltaPlanner::new(),
+            last_plan: None,
         }
+    }
+
+    /// The delta transfer plan of the most recent batch (None until a
+    /// batch runs with `delta_cache` enabled).
+    pub fn last_plan(&self) -> Option<&DeltaPlan> {
+        self.last_plan.as_ref()
+    }
+
+    /// Rows currently resident on the device under delta caching.
+    pub fn resident(&self) -> &[gcsm_graph::VertexId] {
+        self.planner.resident()
     }
 
     /// Number of walks the last estimation actually used (post-adaptation).
@@ -182,19 +196,35 @@ impl Engine for GcsmEngine {
         let budget = self.cfg.gpu.cache_budget();
         let selection = select_top_frequency(&est, budget, |v| graph.list_bytes(v));
         let (dcsr, shipped_bytes) = if self.cfg.delta_cache {
-            // Extension: diff against the resident cache and ship only new
-            // or changed rows (plus the always-refreshed index arrays).
-            let (dcsr, plan) = self.planner.update(graph, &selection.vertices);
+            // Extension: the cache is a persistent device resident — diff
+            // against it and ship only new or changed rows (plus the
+            // always-refreshed index arrays), evicting under the device
+            // budget. The updated set is the seal-time snapshot derived
+            // from the batch itself, never the live graph (which an
+            // overlapped reorganize may already have cleaned).
+            let mut span = gcsm_obs::span("cache_delta", gcsm_obs::cat::ENGINE);
+            let updated = gcsm_cache::updated_set(batch);
+            let (dcsr, plan) =
+                self.planner.update_bounded(graph, &selection.vertices, &updated, budget);
             let meta = dcsr.bytes() - dcsr.colidx.len() * std::mem::size_of::<u32>();
             let shipped = plan.transfer_bytes(graph) + meta;
+            // What a full repack of the (pre-eviction) selection would ship.
+            let n = selection.vertices.len();
+            let full = selection.vertices.iter().map(|&v| graph.list_bytes(v)).sum::<usize>()
+                + n * Dcsr::ROW_META_BYTES
+                + std::mem::size_of::<(i64, i64)>();
+            span.set_count(plan.keep.len() as u64);
+            self.device.dma_delta(shipped, full.saturating_sub(shipped));
+            self.last_plan = Some(plan);
+            drop(span);
             (dcsr, shipped)
         } else {
             let dcsr = Dcsr::pack(graph, &selection.vertices);
             let bytes = dcsr.bytes();
+            self.device.dma(bytes);
             (dcsr, bytes)
         };
         let cached_bytes = dcsr.bytes();
-        self.device.dma(shipped_bytes);
         // Host-side packing streams the shipped lists once.
         phases.data_copy = m.lap() + shipped_bytes as f64 / self.cfg.gpu.cpu_mem_bandwidth;
         drop(dc_span);
@@ -212,7 +242,8 @@ impl Engine for GcsmEngine {
         let stats = run.stats;
 
         self.last_estimate = Some(est);
-        self.last_selection = selection.vertices;
+        // The rows actually cached (post-eviction under delta mode).
+        self.last_selection = dcsr.rowidx.clone();
         m.finish(self.name(), stats, phases, cached_bytes, 0, overall)
     }
 }

@@ -11,7 +11,7 @@ use crate::config::EngineConfig;
 use crate::kernel::run_gpu_kernel;
 use crate::result::{BatchResult, PhaseBreakdown};
 use crate::sources::CachedSource;
-use gcsm_cache::Dcsr;
+use gcsm_cache::{Dcsr, DeltaPlanner};
 use gcsm_freq::select_by_degree;
 use gcsm_gpusim::Device;
 use gcsm_graph::{DynamicGraph, EdgeUpdate, VertexId};
@@ -22,12 +22,14 @@ pub struct NaiveDegreeEngine {
     cfg: EngineConfig,
     device: Device,
     last_selection: Vec<VertexId>,
+    /// Incremental-cache state (used when `cfg.delta_cache` is on).
+    planner: DeltaPlanner,
 }
 
 impl NaiveDegreeEngine {
     pub fn new(cfg: EngineConfig) -> Self {
         let device = Device::new(cfg.gpu);
-        Self { cfg, device, last_selection: Vec::new() }
+        Self { cfg, device, last_selection: Vec::new(), planner: DeltaPlanner::new() }
     }
 
     pub fn device(&self) -> &Device {
@@ -68,12 +70,33 @@ impl Engine for NaiveDegreeEngine {
             .collect();
         let budget = self.cfg.gpu.cache_budget();
         let selection = select_by_degree(candidates, budget, |v| graph.list_bytes(v));
-        let dcsr = Dcsr::pack(graph, &selection.vertices);
+        let (dcsr, shipped_bytes) = if self.cfg.delta_cache {
+            // Same persistent-resident extension as GcsmEngine: ship only
+            // rows the resident cache is missing or that this batch
+            // changed, using the seal-time updated snapshot.
+            let mut span = gcsm_obs::span("cache_delta", gcsm_obs::cat::ENGINE);
+            let updated = gcsm_cache::updated_set(batch);
+            let (dcsr, plan) =
+                self.planner.update_bounded(graph, &selection.vertices, &updated, budget);
+            let meta = dcsr.bytes() - dcsr.colidx.len() * std::mem::size_of::<u32>();
+            let shipped = plan.transfer_bytes(graph) + meta;
+            let n = selection.vertices.len();
+            let full = selection.vertices.iter().map(|&v| graph.list_bytes(v)).sum::<usize>()
+                + n * Dcsr::ROW_META_BYTES
+                + std::mem::size_of::<(i64, i64)>();
+            span.set_count(plan.keep.len() as u64);
+            self.device.dma_delta(shipped, full.saturating_sub(shipped));
+            (dcsr, shipped)
+        } else {
+            let dcsr = Dcsr::pack(graph, &selection.vertices);
+            let bytes = dcsr.bytes();
+            self.device.dma(bytes);
+            (dcsr, bytes)
+        };
         let cached_bytes = dcsr.bytes();
-        self.device.dma(cached_bytes);
-        phases.data_copy = m.lap() + cached_bytes as f64 / self.cfg.gpu.cpu_mem_bandwidth;
+        phases.data_copy = m.lap() + shipped_bytes as f64 / self.cfg.gpu.cpu_mem_bandwidth;
         drop(dc_span);
-        delta_span.set_count(selection.vertices.len() as u64);
+        delta_span.set_count(dcsr.len() as u64);
         drop(delta_span);
 
         // ---- Match ----
@@ -87,7 +110,8 @@ impl Engine for NaiveDegreeEngine {
         phases.matching = m.lap() * run.imbalance;
         let stats = run.stats;
 
-        self.last_selection = selection.vertices;
+        // The rows actually cached (post-eviction under delta mode).
+        self.last_selection = dcsr.rowidx.clone();
         m.finish(self.name(), stats, phases, cached_bytes, 0, overall)
     }
 }

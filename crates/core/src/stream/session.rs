@@ -109,8 +109,11 @@ impl PipelineProcessor {
         Self { pipeline, engine, ledger: base }
     }
 
-    /// The pipeline back, e.g. to `static_count` after the session.
-    pub fn into_pipeline(self) -> Pipeline {
+    /// The pipeline back, e.g. to `static_count` after the session. Any
+    /// overlapped reorganization still in flight is joined first so the
+    /// returned graph state is settled.
+    pub fn into_pipeline(mut self) -> Pipeline {
+        self.pipeline.flush();
         self.pipeline
     }
 }

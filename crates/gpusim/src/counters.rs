@@ -12,6 +12,9 @@ pub struct Traffic {
     pub dma_bytes: AtomicU64,
     /// Number of DMA transactions (each pays the setup cost).
     pub dma_transactions: AtomicU64,
+    /// Bytes a delta transfer plan avoided shipping relative to a full
+    /// cache repack (device-resident rows reused in place).
+    pub dma_saved_bytes: AtomicU64,
     /// Payload bytes read from CPU pinned memory via zero-copy.
     pub zerocopy_bytes: AtomicU64,
     /// Zero-copy line transactions (128 B each): actual PCIe traffic.
@@ -51,6 +54,7 @@ macro_rules! add_methods {
 add_methods! {
     dma_bytes => add_dma_bytes,
     dma_transactions => add_dma_transactions,
+    dma_saved_bytes => add_dma_saved_bytes,
     zerocopy_bytes => add_zerocopy_bytes,
     zerocopy_transactions => add_zerocopy_transactions,
     um_faults => add_um_faults,
@@ -69,6 +73,7 @@ impl Traffic {
         TrafficSnapshot {
             dma_bytes: self.dma_bytes.load(Ordering::Relaxed),
             dma_transactions: self.dma_transactions.load(Ordering::Relaxed),
+            dma_saved_bytes: self.dma_saved_bytes.load(Ordering::Relaxed),
             zerocopy_bytes: self.zerocopy_bytes.load(Ordering::Relaxed),
             zerocopy_transactions: self.zerocopy_transactions.load(Ordering::Relaxed),
             um_faults: self.um_faults.load(Ordering::Relaxed),
@@ -87,6 +92,7 @@ impl Traffic {
         for a in [
             &self.dma_bytes,
             &self.dma_transactions,
+            &self.dma_saved_bytes,
             &self.zerocopy_bytes,
             &self.zerocopy_transactions,
             &self.um_faults,
@@ -108,6 +114,7 @@ impl Traffic {
 pub struct TrafficSnapshot {
     pub dma_bytes: u64,
     pub dma_transactions: u64,
+    pub dma_saved_bytes: u64,
     pub zerocopy_bytes: u64,
     pub zerocopy_transactions: u64,
     pub um_faults: u64,
@@ -129,10 +136,11 @@ impl TrafficSnapshot {
 
     /// `(field, value)` pairs in declaration order, for data-driven export
     /// (e.g. folding interval traffic into an observability registry).
-    pub fn named_fields(&self) -> [(&'static str, u64); 12] {
+    pub fn named_fields(&self) -> [(&'static str, u64); 13] {
         [
             ("dma_bytes", self.dma_bytes),
             ("dma_transactions", self.dma_transactions),
+            ("dma_saved_bytes", self.dma_saved_bytes),
             ("zerocopy_bytes", self.zerocopy_bytes),
             ("zerocopy_transactions", self.zerocopy_transactions),
             ("um_faults", self.um_faults),
@@ -163,6 +171,7 @@ impl std::ops::Sub for TrafficSnapshot {
         Self {
             dma_bytes: self.dma_bytes - rhs.dma_bytes,
             dma_transactions: self.dma_transactions - rhs.dma_transactions,
+            dma_saved_bytes: self.dma_saved_bytes - rhs.dma_saved_bytes,
             zerocopy_bytes: self.zerocopy_bytes - rhs.zerocopy_bytes,
             zerocopy_transactions: self.zerocopy_transactions - rhs.zerocopy_transactions,
             um_faults: self.um_faults - rhs.um_faults,
@@ -225,24 +234,25 @@ mod tests {
         let s = TrafficSnapshot {
             dma_bytes: 1,
             dma_transactions: 2,
-            zerocopy_bytes: 3,
-            zerocopy_transactions: 4,
-            um_faults: 5,
-            um_hits: 6,
-            device_bytes: 7,
-            gpu_ops: 8,
-            cpu_ops: 9,
-            kernel_launches: 10,
-            cache_hits: 11,
-            cache_misses: 12,
+            dma_saved_bytes: 3,
+            zerocopy_bytes: 4,
+            zerocopy_transactions: 5,
+            um_faults: 6,
+            um_hits: 7,
+            device_bytes: 8,
+            gpu_ops: 9,
+            cpu_ops: 10,
+            kernel_launches: 11,
+            cache_hits: 12,
+            cache_misses: 13,
         };
         let fields = s.named_fields();
         let values: Vec<u64> = fields.iter().map(|&(_, v)| v).collect();
-        assert_eq!(values, (1..=12).collect::<Vec<u64>>());
+        assert_eq!(values, (1..=13).collect::<Vec<u64>>());
         let mut names: Vec<&str> = fields.iter().map(|&(n, _)| n).collect();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 12, "field names must be distinct");
+        assert_eq!(names.len(), 13, "field names must be distinct");
     }
 
     #[test]

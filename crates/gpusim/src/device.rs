@@ -84,6 +84,17 @@ impl Device {
         self.trace.record(TraceEvent::Dma { bytes });
     }
 
+    /// One bulk DMA transfer under a delta plan: only `shipped` bytes cross
+    /// PCIe, while `saved` bytes of the full repack stayed device resident.
+    /// Charged like [`Self::dma`] (one transaction of `shipped` bytes);
+    /// `saved` lands in the `dma_saved_bytes` counter for accounting.
+    pub fn dma_delta(&self, shipped: usize, saved: usize) {
+        self.traffic.add_dma_transactions(1);
+        self.traffic.add_dma_bytes(shipped as u64);
+        self.traffic.add_dma_saved_bytes(saved as u64);
+        self.trace.record(TraceEvent::Dma { bytes: shipped });
+    }
+
     /// Record a neighbor-list read of `bytes` through `path`.
     ///
     /// `addr` is the list's virtual base address in the unified address
@@ -243,6 +254,17 @@ mod tests {
         });
         assert_eq!(hits.load(std::sync::atomic::Ordering::Relaxed), 1000);
         assert_eq!(d.snapshot().kernel_launches, 1);
+    }
+
+    #[test]
+    fn dma_delta_charges_shipped_and_records_saved() {
+        let d = Device::with_trace(GpuConfig::default(), 8);
+        d.dma_delta(100, 300);
+        let s = d.snapshot();
+        assert_eq!(s.dma_bytes, 100);
+        assert_eq!(s.dma_transactions, 1);
+        assert_eq!(s.dma_saved_bytes, 300);
+        assert_eq!(d.trace().drain(), vec![crate::trace::TraceEvent::Dma { bytes: 100 }]);
     }
 
     #[test]

@@ -35,6 +35,44 @@ struct AdjList {
     dead: usize,
 }
 
+/// Merge one raw adjacency array back into a single sorted live run:
+/// tombstones in the prefix are dropped and the sorted tail is interleaved
+/// (linear time). Shared by the serial, parallel, and off-thread
+/// reorganization paths so they cannot drift apart.
+fn merge_list(data: &[u32], old_len: usize) -> Vec<u32> {
+    let (prefix, tail) = data.split_at(old_len);
+    let mut merged = Vec::with_capacity(data.len());
+    let (mut pi, mut ti) = (0, 0);
+    while pi < prefix.len() || ti < tail.len() {
+        // Skip tombstones in the prefix.
+        if pi < prefix.len() && is_tombstone(prefix[pi]) {
+            pi += 1;
+            continue;
+        }
+        match (prefix.get(pi), tail.get(ti)) {
+            (Some(&p), Some(&t)) => {
+                if p <= t {
+                    merged.push(p);
+                    pi += 1;
+                } else {
+                    merged.push(t);
+                    ti += 1;
+                }
+            }
+            (Some(&p), None) => {
+                merged.push(p);
+                pi += 1;
+            }
+            (None, Some(&t)) => {
+                merged.push(t);
+                ti += 1;
+            }
+            (None, None) => unreachable!(),
+        }
+    }
+    merged
+}
+
 impl AdjList {
     fn live_degree(&self) -> usize {
         self.data.len() - self.dead
@@ -96,6 +134,78 @@ enum Phase {
     /// Batch sealed: tails sorted, views `N`/`N'` live; ready to match and
     /// then `reorganize`.
     Sealed,
+    /// Overlap mode: the previous batch is still sealed (its reorganization
+    /// runs off-thread) while the next batch's updates are journaled via
+    /// [`DynamicGraph::apply`]. Entered by
+    /// [`DynamicGraph::begin_staged_batch`]; left by `seal_batch` after
+    /// [`DynamicGraph::install_reorg`] has landed.
+    Staging,
+}
+
+/// Snapshot of the merge work for one sealed batch, detached from the graph
+/// so it can be computed on another thread while the graph keeps serving
+/// reads (and journaling the next batch). Produced by
+/// [`DynamicGraph::take_reorg_task`]; consumed by [`ReorgTask::compute`].
+#[derive(Clone, Debug)]
+pub struct ReorgTask {
+    /// Seal epoch this task was taken at; checked on install so a stale
+    /// result can never clobber a newer graph state.
+    epoch: u64,
+    /// `(vertex, raw list clone, prefix length)` for every touched list that
+    /// actually needs merging (has tombstones or an appended tail).
+    items: Vec<(VertexId, Vec<u32>, usize)>,
+}
+
+impl ReorgTask {
+    /// True when no list needs merging (resurrection-only batches): the
+    /// caller can install the (empty) result inline instead of spawning.
+    pub fn is_trivial(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Number of lists that will be merged.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when no list needs merging.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Run the merges (rayon-parallel across lists, as in
+    /// [`DynamicGraph::reorganize_parallel`]). Borrows nothing from the
+    /// graph, so it can run on any thread.
+    pub fn compute(self) -> ReorgResult {
+        use rayon::prelude::*;
+        let epoch = self.epoch;
+        let merged = self
+            .items
+            .into_par_iter()
+            .map(|(v, data, old_len)| (v, merge_list(&data, old_len)))
+            .collect();
+        ReorgResult { epoch, merged }
+    }
+}
+
+/// Output of [`ReorgTask::compute`], applied via
+/// [`DynamicGraph::install_reorg`].
+#[derive(Clone, Debug)]
+pub struct ReorgResult {
+    epoch: u64,
+    merged: Vec<(VertexId, Vec<u32>)>,
+}
+
+impl ReorgResult {
+    /// Number of lists merged.
+    pub fn len(&self) -> usize {
+        self.merged.len()
+    }
+
+    /// True when no list was merged.
+    pub fn is_empty(&self) -> bool {
+        self.merged.is_empty()
+    }
 }
 
 /// The dynamic data graph.
@@ -117,6 +227,14 @@ pub struct DynamicGraph {
     /// seal time).
     touched: Vec<VertexId>,
     batch: BatchSummary,
+    /// Seal epoch: incremented every `seal_batch`. Guards
+    /// [`Self::install_reorg`] against stale results.
+    seals: u64,
+    /// Updates journaled while in [`Phase::Staging`], replayed at seal.
+    staged: Vec<EdgeUpdate>,
+    /// Whether the pending reorganization result has been installed for the
+    /// current staged batch.
+    reorg_installed: bool,
 }
 
 impl DynamicGraph {
@@ -141,6 +259,9 @@ impl DynamicGraph {
             phase: Phase::Clean,
             touched: Vec::new(),
             batch: BatchSummary::default(),
+            seals: 0,
+            staged: Vec::new(),
+            reorg_installed: false,
         }
     }
 
@@ -197,12 +318,34 @@ impl DynamicGraph {
         self.batch = BatchSummary::default();
     }
 
+    /// Start accepting the next batch while the previous one is still sealed
+    /// and its reorganization runs off-thread (overlap mode, double-buffered
+    /// Fig. 3). Updates are journaled — not applied — until
+    /// [`Self::install_reorg`] lands and `seal_batch` replays them, so the
+    /// sealed views `N`/`N'` stay readable throughout.
+    pub fn begin_staged_batch(&mut self) {
+        assert_eq!(self.phase, Phase::Sealed, "staged batch requires a pending sealed batch");
+        self.phase = Phase::Staging;
+        self.staged.clear();
+        self.reorg_installed = false;
+        self.batch = BatchSummary::default();
+    }
+
     /// Apply one update. Returns `true` if it changed the graph. Duplicate
     /// insertions and deletions of absent edges are counted as skipped.
     /// Inserting an edge whose endpoints exceed the current vertex count
     /// grows the graph (the paper: "a newly inserted edge may consist of new
     /// vertices"); new vertices get label 0.
+    ///
+    /// In a staged batch (overlap mode) the update is journaled and the
+    /// return value is provisionally `true`; no-op detection happens when the
+    /// journal is replayed at seal time and is reflected in the returned
+    /// [`BatchSummary`].
     pub fn apply(&mut self, u: EdgeUpdate) -> bool {
+        if self.phase == Phase::Staging {
+            self.staged.push(u);
+            return true;
+        }
         assert_eq!(self.phase, Phase::Applying, "apply outside begin_batch");
         if u.src == u.dst {
             self.batch.skipped += 1;
@@ -319,7 +462,20 @@ impl DynamicGraph {
     /// merge intersections — paper Sec. V-C) and deduplicate the touched set.
     /// Returns the batch summary handed to the matcher.
     pub fn seal_batch(&mut self) -> BatchSummary {
+        if self.phase == Phase::Staging {
+            assert!(
+                self.reorg_installed,
+                "staged batch sealed before install_reorg landed the pending reorganization"
+            );
+            self.phase = Phase::Applying;
+            self.batch = BatchSummary::default();
+            let staged = std::mem::take(&mut self.staged);
+            for u in staged {
+                self.apply(u);
+            }
+        }
         assert_eq!(self.phase, Phase::Applying, "seal outside batch");
+        self.seals += 1;
         self.touched.sort_unstable();
         self.touched.dedup();
         for &v in &self.touched {
@@ -362,39 +518,7 @@ impl DynamicGraph {
             if list.dead == 0 && list.old_len == list.data.len() {
                 continue; // resurrections only; already sorted
             }
-            let mut merged = Vec::with_capacity(list.live_degree());
-            {
-                let (prefix, tail) = list.data.split_at(list.old_len);
-                let mut pi = 0;
-                let mut ti = 0;
-                while pi < prefix.len() || ti < tail.len() {
-                    // Skip tombstones in the prefix.
-                    if pi < prefix.len() && is_tombstone(prefix[pi]) {
-                        pi += 1;
-                        continue;
-                    }
-                    match (prefix.get(pi), tail.get(ti)) {
-                        (Some(&p), Some(&t)) => {
-                            if p <= t {
-                                merged.push(p);
-                                pi += 1;
-                            } else {
-                                merged.push(t);
-                                ti += 1;
-                            }
-                        }
-                        (Some(&p), None) => {
-                            merged.push(p);
-                            pi += 1;
-                        }
-                        (None, Some(&t)) => {
-                            merged.push(t);
-                            ti += 1;
-                        }
-                        (None, None) => unreachable!(),
-                    }
-                }
-            }
+            let merged = merge_list(&list.data, list.old_len);
             // Keep the doubled-capacity allocation if it still fits; the
             // paper never shrinks arrays.
             list.data.clear();
@@ -434,37 +558,7 @@ impl DynamicGraph {
                 if list.dead == 0 && list.old_len == list.data.len() {
                     return 0usize;
                 }
-                let mut merged = Vec::with_capacity(list.live_degree());
-                {
-                    let (prefix, tail) = list.data.split_at(list.old_len);
-                    let (mut pi, mut ti) = (0, 0);
-                    while pi < prefix.len() || ti < tail.len() {
-                        if pi < prefix.len() && is_tombstone(prefix[pi]) {
-                            pi += 1;
-                            continue;
-                        }
-                        match (prefix.get(pi), tail.get(ti)) {
-                            (Some(&p), Some(&t)) => {
-                                if p <= t {
-                                    merged.push(p);
-                                    pi += 1;
-                                } else {
-                                    merged.push(t);
-                                    ti += 1;
-                                }
-                            }
-                            (Some(&p), None) => {
-                                merged.push(p);
-                                pi += 1;
-                            }
-                            (None, Some(&t)) => {
-                                merged.push(t);
-                                ti += 1;
-                            }
-                            (None, None) => unreachable!(),
-                        }
-                    }
-                }
+                let merged = merge_list(&list.data, list.old_len);
                 list.data.clear();
                 list.data.extend_from_slice(&merged);
                 list.old_len = list.data.len();
@@ -479,6 +573,66 @@ impl DynamicGraph {
         self.touched.clear();
         self.phase = Phase::Clean;
         span.set_count(count as u64);
+        count
+    }
+
+    /// Detach the merge work for the sealed batch so it can run off-thread
+    /// ([`ReorgTask::compute`]) while the graph keeps serving the sealed
+    /// views — and, via [`Self::begin_staged_batch`], journaling the next
+    /// batch. Touched lists that need no merge (resurrection-only) are
+    /// excluded. The graph stays `Sealed`; apply the result with
+    /// [`Self::install_reorg`].
+    pub fn take_reorg_task(&self) -> ReorgTask {
+        assert_eq!(self.phase, Phase::Sealed, "reorganize requires a sealed batch");
+        let items = self
+            .touched
+            .iter()
+            .filter_map(|&v| {
+                let list = &self.lists[v as usize];
+                if list.dead == 0 && list.old_len == list.data.len() {
+                    None
+                } else {
+                    Some((v, list.data.clone(), list.old_len))
+                }
+            })
+            .collect();
+        ReorgTask { epoch: self.seals, items }
+    }
+
+    /// Install an off-thread reorganization result. Equivalent to having run
+    /// [`Self::reorganize`] at [`Self::take_reorg_task`] time: merged lists
+    /// replace their raw form, the touched set clears, and the phase
+    /// advances (`Sealed` → `Clean`, or marks the pending reorganization
+    /// installed when a staged batch is open). Panics if the result's seal
+    /// epoch does not match the graph's — a stale result can never clobber
+    /// newer state. Returns the number of lists reorganized.
+    pub fn install_reorg(&mut self, res: ReorgResult) -> usize {
+        match self.phase {
+            Phase::Sealed => {}
+            Phase::Staging => {
+                assert!(!self.reorg_installed, "reorganize result installed twice")
+            }
+            _ => panic!("install_reorg requires a sealed or staged batch"),
+        }
+        assert_eq!(res.epoch, self.seals, "stale reorganize result (seal epoch mismatch)");
+        let count = res.merged.len();
+        for (v, merged) in res.merged {
+            let list = &mut self.lists[v as usize];
+            list.data.clear();
+            list.data.extend_from_slice(&merged);
+            list.old_len = list.data.len();
+            list.dead = 0;
+            debug_assert!(
+                list.is_clean_sorted(),
+                "install_reorg left v{v} unsorted, duplicated, or tombstoned"
+            );
+        }
+        self.touched.clear();
+        if self.phase == Phase::Sealed {
+            self.phase = Phase::Clean;
+        } else {
+            self.reorg_installed = true;
+        }
         count
     }
 
@@ -784,6 +938,107 @@ mod tests {
             assert_eq!(a.raw_list(v).0, b.raw_list(v).0, "v{v}");
         }
         assert!(b.updated_vertices().is_empty());
+    }
+
+    #[test]
+    fn take_compute_install_equals_reorganize() {
+        let build = || {
+            let mut g = seed();
+            g.begin_batch();
+            g.apply(EdgeUpdate::insert(3, 4));
+            g.apply(EdgeUpdate::delete(0, 2));
+            g.apply(EdgeUpdate::insert(0, 4));
+            g.seal_batch();
+            g
+        };
+        let mut a = build();
+        let mut b = build();
+        let ca = a.reorganize();
+        let task = b.take_reorg_task();
+        assert!(!task.is_trivial());
+        let cb = b.install_reorg(task.compute());
+        assert_eq!(ca, cb);
+        for v in 0..a.num_vertices() as u32 {
+            assert_eq!(a.raw_list(v).0, b.raw_list(v).0, "v{v}");
+        }
+        assert!(b.updated_vertices().is_empty());
+        // Both back to Clean: a fresh batch starts without panicking.
+        b.begin_batch();
+        b.seal_batch();
+        b.reorganize();
+    }
+
+    #[test]
+    fn staged_batch_overlaps_reorganize() {
+        let mut g = seed();
+        g.begin_batch();
+        g.apply(EdgeUpdate::insert(3, 4));
+        g.apply(EdgeUpdate::delete(0, 1));
+        g.seal_batch();
+
+        // Detach batch-1 merge work, then open batch 2 while it is "running".
+        let task = g.take_reorg_task();
+        g.begin_staged_batch();
+        // Journaled updates: one real insert, one duplicate (no-op), one
+        // delete of an edge the pending reorganize will have removed.
+        g.apply(EdgeUpdate::insert(2, 4));
+        g.apply(EdgeUpdate::insert(0, 2)); // duplicate → skipped at replay
+        g.apply(EdgeUpdate::delete(0, 1)); // already deleted in batch 1 → skipped
+                                           // Sealed views of batch 1 still readable while staged.
+        assert_eq!(g.new_view(3).to_vec(), vec![1, 2, 4]);
+        assert_eq!(g.old_view(0).to_vec(), vec![1, 2]);
+
+        g.install_reorg(task.compute());
+        let b = g.seal_batch();
+        assert_eq!(b.len(), 1, "only the real insert applies");
+        assert_eq!(b.skipped, 2);
+        assert_eq!(g.new_view(2).to_vec(), vec![0, 1, 3, 4]);
+        assert_eq!(g.old_view(2).to_vec(), vec![0, 1, 3]);
+        g.reorganize();
+        assert_eq!(g.old_view(0).to_vec(), vec![2]);
+        assert_eq!(g.num_edges(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "staged batch sealed before install_reorg")]
+    fn staged_seal_without_install_panics() {
+        let mut g = seed();
+        g.begin_batch();
+        g.apply(EdgeUpdate::insert(3, 4));
+        g.seal_batch();
+        g.begin_staged_batch();
+        g.seal_batch();
+    }
+
+    #[test]
+    #[should_panic(expected = "seal epoch mismatch")]
+    fn stale_reorg_result_rejected() {
+        let mut g = seed();
+        g.begin_batch();
+        g.apply(EdgeUpdate::insert(3, 4));
+        g.seal_batch();
+        let stale = g.take_reorg_task().compute();
+        g.reorganize();
+        g.begin_batch();
+        g.apply(EdgeUpdate::insert(0, 4));
+        g.seal_batch();
+        g.install_reorg(stale);
+    }
+
+    #[test]
+    fn trivial_reorg_task_for_resurrection_only_batch() {
+        let mut g = seed();
+        g.begin_batch();
+        g.apply(EdgeUpdate::delete(0, 1));
+        g.apply(EdgeUpdate::insert(0, 1)); // resurrect in place
+        g.seal_batch();
+        let task = g.take_reorg_task();
+        assert!(task.is_trivial());
+        assert_eq!(g.install_reorg(task.compute()), 0);
+        assert!(g.updated_vertices().is_empty());
+        g.begin_batch(); // phase advanced to Clean
+        g.seal_batch();
+        g.reorganize();
     }
 
     #[test]

@@ -53,7 +53,7 @@ pub mod view;
 
 pub use admission::{coalesce, Admission, AdmissionStats, CoalesceWindow};
 pub use csr::{CsrBuilder, CsrGraph};
-pub use dynamic::{BatchSummary, DynamicGraph};
+pub use dynamic::{BatchSummary, DynamicGraph, ReorgResult, ReorgTask};
 pub use stats::GraphStats;
 pub use types::{
     decode_neighbor, encode_tombstone, is_tombstone, EdgeUpdate, Label, UpdateOp, VertexId,

@@ -1,0 +1,134 @@
+//! Acceptance tests for the cross-batch resident DCSR cache (ISSUE 4):
+//! on a stable-hot-set ER stream, delta shipping must cut per-batch PCIe
+//! DMA by at least 40 % after warm-up without changing a single count,
+//! and eviction must keep the resident footprint under the device budget.
+
+use gcsm::{EngineConfig, GcsmEngine, Pipeline};
+use gcsm_cache::Dcsr;
+use gcsm_datagen::er::gnm;
+use gcsm_datagen::temporal::{temporal_stream, TemporalConfig};
+use gcsm_graph::EdgeUpdate;
+use gcsm_pattern::queries;
+
+/// The repro experiment's workload, shrunk for test time: dense ER so the
+/// kite's walks read common-neighbor rows (the keepable ones), updates
+/// pinned to a never-drifting focus region.
+fn workload() -> (gcsm_graph::CsrGraph, Vec<Vec<EdgeUpdate>>) {
+    let n = 384usize;
+    let initial = gnm(n, 32 * n, 42);
+    let stream = temporal_stream(
+        &initial,
+        &TemporalConfig {
+            updates: 192 * 5,
+            locality: 1.0,
+            region: 24,
+            drift_every: usize::MAX,
+            seed: 9,
+        },
+    );
+    let batches = stream.chunks(192).map(<[EdgeUpdate]>::to_vec).collect();
+    (initial, batches)
+}
+
+fn run(
+    initial: &gcsm_graph::CsrGraph,
+    batches: &[Vec<EdgeUpdate>],
+    cfg: EngineConfig,
+) -> (Vec<u64>, Vec<i64>) {
+    let mut engine = GcsmEngine::new(cfg);
+    let mut pipeline = Pipeline::new(initial.clone(), queries::fig1_kite());
+    let mut dma = Vec::new();
+    let mut dm = Vec::new();
+    for b in batches {
+        let r = pipeline.process_batch(&mut engine, b);
+        dma.push(r.traffic.dma_bytes);
+        dm.push(r.matches);
+    }
+    (dma, dm)
+}
+
+#[test]
+fn delta_shipping_cuts_warm_dma_by_40_percent() {
+    let (initial, batches) = workload();
+    let budget = initial.adjacency_bytes() * 2;
+    let base =
+        EngineConfig { walks_override: Some(20_000), ..EngineConfig::with_cache_budget(budget) };
+    let delta = EngineConfig { delta_cache: true, ..base.clone() };
+
+    let (full_dma, full_dm) = run(&initial, &batches, base);
+    let (delta_dma, delta_dm) = run(&initial, &batches, delta);
+
+    assert_eq!(delta_dm, full_dm, "delta shipping changed match counts");
+
+    // Warm-up excluded: batch 0 populates the resident cache.
+    let full_warm: u64 = full_dma[1..].iter().sum();
+    let delta_warm: u64 = delta_dma[1..].iter().sum();
+    let cut = 1.0 - delta_warm as f64 / full_warm as f64;
+    assert!(
+        cut >= 0.40,
+        "warm DMA cut {:.1}% below the 40% acceptance bar ({} vs {} bytes)",
+        cut * 100.0,
+        delta_warm,
+        full_warm
+    );
+}
+
+#[test]
+fn eviction_keeps_resident_footprint_under_budget_without_changing_counts() {
+    let (initial, batches) = workload();
+    // A budget too small for the full hot selection: the planner must
+    // evict instead of overflowing the device.
+    let tight = initial.adjacency_bytes() / 8;
+    let base =
+        EngineConfig { walks_override: Some(5_000), ..EngineConfig::with_cache_budget(tight) };
+    let delta_cfg = EngineConfig { delta_cache: true, ..base.clone() };
+
+    let (_, full_dm) = run(&initial, &batches, base);
+
+    let mut engine = GcsmEngine::new(delta_cfg);
+    let mut pipeline = Pipeline::new(initial.clone(), queries::fig1_kite());
+    for (i, b) in batches.iter().enumerate() {
+        let r = pipeline.process_batch(&mut engine, b);
+        assert_eq!(r.matches, full_dm[i], "eviction changed batch {i} count");
+        let footprint: usize = engine
+            .resident()
+            .iter()
+            .map(|&v| pipeline.graph().list_bytes(v) + Dcsr::ROW_META_BYTES)
+            .sum();
+        assert!(
+            footprint <= tight,
+            "resident footprint {footprint} exceeds device budget {tight} after batch {i}"
+        );
+    }
+}
+
+#[test]
+fn overlap_reduces_modeled_reorganize_exposure() {
+    let (initial, batches) = workload();
+    let budget = initial.adjacency_bytes() * 2;
+    let cfg =
+        EngineConfig { walks_override: Some(5_000), ..EngineConfig::with_cache_budget(budget) };
+
+    let mut totals = [0.0f64; 2];
+    let mut counts = [0i64; 2];
+    for (i, overlap) in [false, true].into_iter().enumerate() {
+        let mut engine = GcsmEngine::new(cfg.clone());
+        let mut pipeline = Pipeline::new(initial.clone(), queries::fig1_kite());
+        pipeline.set_overlap(overlap);
+        for b in &batches {
+            let r = pipeline.process_batch(&mut engine, b);
+            totals[i] += r.phases.reorganize;
+            counts[i] += r.matches;
+        }
+        totals[i] += pipeline.flush();
+    }
+    assert_eq!(counts[0], counts[1], "overlap changed counts");
+    // Overlap charges only the exposed remainder of each deferred merge;
+    // it can hide cost but never invent extra.
+    assert!(
+        totals[1] <= totals[0] + 1e-12,
+        "overlapped reorganize exposure {} exceeds serial {}",
+        totals[1],
+        totals[0]
+    );
+}

@@ -1,0 +1,145 @@
+//! Differential properties for the cross-batch resident cache and the
+//! overlapped reorganize: for arbitrary update streams — insert-heavy,
+//! delete-heavy, duplicates, no-op deletes — and any engine, the
+//! overlapped pipeline with delta shipping must produce batch-for-batch
+//! identical `matches` and an identical final graph vs. the serial
+//! full-repack path. The two paths differ in *when* merge work happens
+//! (off-thread, one batch late) and in *what* crosses the simulated PCIe
+//! link (plan rows vs. a full pack); neither may change observable
+//! results.
+
+use gcsm::{EngineConfig, Pipeline};
+use gcsm_bench::{make_engine, EngineKind};
+use gcsm_datagen::er::gnm;
+use gcsm_graph::{EdgeUpdate, UpdateOp};
+use gcsm_pattern::queries;
+use proptest::prelude::*;
+
+/// One raw request: endpoints and an op-selector byte. Encoding the op as
+/// a byte lets the strategy skew insert/delete ratios per case.
+type Req = (u8, u8, u8);
+
+/// Strategy: graph seed, raw requests, insert-bias threshold (0 =>
+/// delete-only, 255 => insert-only), batch size, engine selector.
+fn case() -> impl Strategy<Value = (u64, Vec<Req>, u8, usize, u8)> {
+    (
+        0u64..200,
+        proptest::collection::vec((0u8..24, 0u8..24, any::<u8>()), 8..80),
+        any::<u8>(),
+        2usize..17,
+        0u8..4,
+    )
+}
+
+fn decode(reqs: &[Req], bias: u8) -> Vec<EdgeUpdate> {
+    reqs.iter()
+        .filter(|&&(a, b, _)| a != b)
+        .map(|&(a, b, sel)| EdgeUpdate {
+            src: a as u32,
+            dst: b as u32,
+            op: if sel <= bias { UpdateOp::Insert } else { UpdateOp::Delete },
+        })
+        .collect()
+}
+
+fn engine_kind(selector: u8) -> EngineKind {
+    match selector {
+        0 => EngineKind::Gcsm,
+        1 => EngineKind::NaiveDegree,
+        2 => EngineKind::ZeroCopy,
+        _ => EngineKind::Cpu,
+    }
+}
+
+/// Run a batched stream through one pipeline configuration and return the
+/// per-batch ΔM sequence plus the final sealed graph's edge set.
+fn run(
+    kind: EngineKind,
+    initial: &gcsm_graph::CsrGraph,
+    batches: &[Vec<EdgeUpdate>],
+    delta: bool,
+    overlap: bool,
+) -> (Vec<i64>, Vec<(u32, u32)>, i64) {
+    let cfg = EngineConfig { delta_cache: delta, ..Default::default() };
+    let mut engine = make_engine(kind, cfg);
+    let mut pipeline = Pipeline::new(initial.clone(), queries::triangle());
+    pipeline.set_overlap(overlap);
+    let deltas: Vec<i64> =
+        batches.iter().map(|b| pipeline.process_batch(engine.as_mut(), b).matches).collect();
+    pipeline.flush();
+    let ledger = pipeline.static_count(false);
+    let final_edges: Vec<(u32, u32)> = pipeline.graph().to_csr().edges().collect();
+    (deltas, final_edges, ledger)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The headline differential: overlap+delta vs. serial full-repack.
+    #[test]
+    fn overlap_delta_matches_serial((seed, reqs, bias, batch, esel) in case()) {
+        let initial = gnm(24, 60, seed);
+        let updates = decode(&reqs, bias);
+        prop_assume!(!updates.is_empty());
+        let batches: Vec<Vec<EdgeUpdate>> =
+            updates.chunks(batch).map(<[EdgeUpdate]>::to_vec).collect();
+        let kind = engine_kind(esel);
+
+        let (ref_deltas, ref_edges, ref_count) =
+            run(kind, &initial, &batches, false, false);
+        let (deltas, edges, count) = run(kind, &initial, &batches, true, true);
+
+        prop_assert_eq!(deltas, ref_deltas, "per-batch ΔM diverged for {}", kind.name());
+        prop_assert_eq!(edges, ref_edges, "final graph diverged for {}", kind.name());
+        prop_assert_eq!(count, ref_count, "final count diverged for {}", kind.name());
+    }
+
+    /// The two mechanisms are independent: each alone must also be
+    /// invisible (a failure here pins which one broke the headline).
+    #[test]
+    fn each_mechanism_alone_matches_serial((seed, reqs, bias, batch, esel) in case()) {
+        let initial = gnm(24, 60, seed);
+        let updates = decode(&reqs, bias);
+        prop_assume!(!updates.is_empty());
+        let batches: Vec<Vec<EdgeUpdate>> =
+            updates.chunks(batch).map(<[EdgeUpdate]>::to_vec).collect();
+        let kind = engine_kind(esel);
+
+        let reference = run(kind, &initial, &batches, false, false);
+        let delta_only = run(kind, &initial, &batches, true, false);
+        let overlap_only = run(kind, &initial, &batches, false, true);
+        prop_assert_eq!(&delta_only, &reference, "delta-only diverged for {}", kind.name());
+        prop_assert_eq!(&overlap_only, &reference, "overlap-only diverged for {}", kind.name());
+    }
+}
+
+/// Deterministic cross-engine sweep: every engine, a delete-heavy stream
+/// ending below the initial edge count, exercising tombstone-heavy merges
+/// under the overlapped install.
+#[test]
+fn all_engines_survive_delete_heavy_overlap() {
+    let initial = gnm(30, 120, 7);
+    // Delete a large slice of the initial edges, then re-insert a few:
+    // merges see mostly-tombstoned prefixes with short tails.
+    let mut updates: Vec<EdgeUpdate> =
+        initial.edges().take(90).map(|(a, b)| EdgeUpdate::delete(a, b)).collect();
+    let back: Vec<EdgeUpdate> =
+        updates.iter().take(12).map(|u| EdgeUpdate::insert(u.src, u.dst)).collect();
+    updates.extend(back);
+    let batches: Vec<Vec<EdgeUpdate>> = updates.chunks(16).map(<[EdgeUpdate]>::to_vec).collect();
+
+    for kind in [
+        EngineKind::Gcsm,
+        EngineKind::NaiveDegree,
+        EngineKind::ZeroCopy,
+        EngineKind::UnifiedMem,
+        EngineKind::Vsgm,
+        EngineKind::Cpu,
+        EngineKind::RapidFlow,
+        EngineKind::Recompute,
+    ] {
+        let reference = run(kind, &initial, &batches, false, false);
+        let combined = run(kind, &initial, &batches, true, true);
+        assert_eq!(combined, reference, "{} diverged under overlap+delta", kind.name());
+    }
+}
