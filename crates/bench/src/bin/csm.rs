@@ -15,8 +15,10 @@
 //! list (`"0-1,1-2,0-2"`). Engines: `gcsm zp um vsgm naive cpu rf`.
 
 use gcsm::prelude::*;
+use gcsm_gpusim::Scheduling;
 use gcsm_graph::{io, CsrGraph, EdgeUpdate};
 use gcsm_pattern::{queries, QueryGraph};
+use gcsm_shard::PartitionPolicy;
 
 struct Args {
     graph: Option<String>,
@@ -35,6 +37,9 @@ struct Args {
     trace: Option<String>,
     cache_delta: bool,
     overlap: bool,
+    shards: usize,
+    partition: PartitionPolicy,
+    schedule: Scheduling,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -55,6 +60,9 @@ fn parse_args() -> Result<Args, String> {
         trace: None,
         cache_delta: false,
         overlap: false,
+        shards: 1,
+        partition: PartitionPolicy::HashSrc,
+        schedule: Scheduling::WorkStealing,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -107,6 +115,27 @@ fn parse_args() -> Result<Args, String> {
                 }
                 i += 1;
             }
+            "--shards" => {
+                a.shards = need(i)?.parse().map_err(|e| format!("--shards: {e}"))?;
+                if a.shards == 0 {
+                    return Err("--shards: must be at least 1".into());
+                }
+                i += 1;
+            }
+            "--partition" => {
+                let v = need(i)?;
+                a.partition = PartitionPolicy::parse(v).ok_or_else(|| {
+                    format!("--partition: unknown policy '{v}' (hash|range|degree)")
+                })?;
+                i += 1;
+            }
+            "--schedule" => {
+                let v = need(i)?;
+                a.schedule = Scheduling::parse(v).ok_or_else(|| {
+                    format!("--schedule: unknown policy '{v}' (static|chunked|stealing)")
+                })?;
+                i += 1;
+            }
             "--metrics" => {
                 a.metrics = Some(need(i)?.clone());
                 i += 1;
@@ -121,6 +150,8 @@ fn parse_args() -> Result<Args, String> {
                      [--query NAME|SPEC] [--engine gcsm|zp|um|vsgm|naive|cpu|rf] \
                      [--batch-size N] [--budget FRAC] [--unique] [--collect K] \
                      [--cache-delta] [--overlap] [--stream [--producers N]] \
+                     [--shards N [--partition hash|range|degree]] \
+                     [--schedule static|chunked|stealing] \
                      [--metrics FILE.json] [--trace FILE.trace.json]"
                 );
                 std::process::exit(0);
@@ -131,6 +162,12 @@ fn parse_args() -> Result<Args, String> {
     }
     if !a.demo && (a.graph.is_none() || a.updates.is_none()) {
         return Err("need --graph and --updates, or --demo".into());
+    }
+    if a.shards > 1 && a.stream {
+        return Err("--shards: sharded execution drives pre-chunked batches; drop --stream".into());
+    }
+    if a.shards > 1 && a.collect > 0 {
+        return Err("--shards: --collect is only available single-device".into());
     }
     Ok(a)
 }
@@ -212,6 +249,13 @@ fn main() {
     let mut cfg = EngineConfig::with_cache_budget(budget);
     cfg.plan.symmetry_break = args.unique;
     cfg.delta_cache = args.cache_delta;
+    cfg.scheduling = args.schedule;
+
+    if args.shards > 1 {
+        run_sharded_mode(graph, query, cfg, &updates, &args);
+        return;
+    }
+
     let mut engine = make_engine(&args.engine, cfg).unwrap_or_else(|e| {
         eprintln!("csm: --engine {}: {e}", args.engine);
         std::process::exit(2);
@@ -273,6 +317,64 @@ fn main() {
         total_ms
     );
     write_obs_outputs(&args);
+}
+
+/// `--shards N`: partition the vertex set under `--partition`, give every
+/// shard an engine with `1/N` of the cache budget, and drive the batches
+/// through [`ShardedPipeline`]. `ΔM` is bit-identical to single-device;
+/// the extra columns show what sharding costs (peer bytes) and buys
+/// (makespan below the single-device engine time).
+fn run_sharded_mode(
+    graph: CsrGraph,
+    query: QueryGraph,
+    cfg: EngineConfig,
+    updates: &[EdgeUpdate],
+    args: &Args,
+) {
+    let per_shard_cfg = shard_config(&cfg, args.shards);
+    let engines: Vec<Box<dyn Engine>> = (0..args.shards)
+        .map(|_| {
+            make_engine(&args.engine, per_shard_cfg.clone()).unwrap_or_else(|e| {
+                eprintln!("csm: --engine {}: {e}", args.engine);
+                std::process::exit(2);
+            })
+        })
+        .collect();
+    println!(
+        "sharded mode: {} shards, {} partition, {} scheduling",
+        args.shards,
+        args.partition.name(),
+        args.schedule.name()
+    );
+    let mut pipeline = ShardedPipeline::new(graph, query, args.partition, engines);
+    let mut cumulative = 0i64;
+    let mut total_ms = 0.0;
+    let mut total_peer = 0u64;
+    let batches: Vec<&[EdgeUpdate]> = updates.chunks(args.batch_size).collect();
+    for (i, batch) in batches.iter().enumerate() {
+        let r = pipeline.process_batch(batch);
+        cumulative += r.merged.matches;
+        total_ms += r.merged.total_ms();
+        total_peer += r.peer_bytes;
+        println!(
+            "batch {i:>4}: ΔM {:+8}  (cumulative {cumulative:+})  {:.3} ms sim  \
+             makespan {:.3} ms  imbalance {:.2}  cut {:>4}  peer {}",
+            r.merged.matches,
+            r.merged.total_ms(),
+            r.makespan_seconds * 1e3,
+            r.imbalance,
+            r.cut_updates,
+            gcsm_bench::fmt_bytes(r.peer_bytes as f64),
+        );
+    }
+    let unit = if args.unique { "subgraphs" } else { "embeddings" };
+    println!(
+        "done: {} batches, net {cumulative:+} {unit}, {:.3} ms total simulated time, {} peer traffic",
+        batches.len(),
+        total_ms,
+        gcsm_bench::fmt_bytes(total_peer as f64),
+    );
+    write_obs_outputs(args);
 }
 
 /// Export the run's metrics snapshot and Chrome trace if requested.

@@ -6,7 +6,7 @@
 //! ```
 //!
 //! Experiments: table1 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15a
-//! fig15b table2 table3 um labeled stream ablations cache_delta all.
+//! fig15b table2 table3 um labeled stream ablations cache_delta shard all.
 //! Options: `--scale S` (dataset scale, default 0.25), `--batches N`
 //! (measured batches per cell, default 2).
 
@@ -128,6 +128,9 @@ fn main() {
     }
     if want("cache_delta") {
         tables.push(cache_delta(&rc));
+    }
+    if want("shard") {
+        tables.push(shard_experiment(&rc));
     }
     for t in &tables {
         t.print();
@@ -415,6 +418,110 @@ fn cache_delta(rc: &RunConfig) -> Table {
             format!("{dm}"),
         ]);
     }
+    t
+}
+
+/// Tentpole (PR 5): multi-device sharded execution on a skewed RMAT
+/// stream — shards {1,2,4} × partition policies, every update routed to
+/// the owner of its canonical min endpoint, cut updates replicated to the
+/// other endpoint's shard over the peer link. Every cell must report the
+/// same ΔM as the single-device baseline (exactly-once routing), and the
+/// best 4-shard cell must cut the achieved makespan by ≥ 2×.
+fn shard_experiment(rc: &RunConfig) -> Table {
+    use gcsm_datagen::{rmat, StreamConfig, UpdateStream};
+    use gcsm_shard::PartitionPolicy;
+
+    let mut t = Table::new(
+        "Sharding: multi-device scaling on skewed RMAT (triangle, batch 1024)",
+        &[
+            "shards",
+            "partition",
+            "ΔM",
+            "engine ms/b",
+            "makespan ms/b",
+            "speedup",
+            "assign ms/b",
+            "imb",
+            "cut/b",
+            "peer/b",
+        ],
+    );
+    // RMAT's preferential attachment piles degree mass onto low vertex
+    // ids — exactly the skew a contiguous range partition mishandles and
+    // the degree-aware sweep is built for.
+    let scale_log = if rc.scale >= 0.9 { 12 } else { 11 };
+    let base = rmat::generate(&rmat::RmatConfig::new(scale_log, 16, 7));
+    let stream = UpdateStream::generate(&base, StreamConfig::Fraction(0.25), 9);
+    let batch = 1024usize;
+    let batches: Vec<&[gcsm_graph::EdgeUpdate]> = stream.updates.chunks(batch).collect();
+    // Full budget: this experiment measures work partitioning, not
+    // eviction (the cache sweeps cover that).
+    let cfg = gcsm::EngineConfig::with_cache_budget(stream.initial.adjacency_bytes());
+
+    let cells: [(usize, PartitionPolicy); 5] = [
+        (1, PartitionPolicy::HashSrc),
+        (2, PartitionPolicy::HashSrc),
+        (4, PartitionPolicy::HashSrc),
+        (4, PartitionPolicy::Range),
+        (4, PartitionPolicy::DegreeBalanced),
+    ];
+    let mut expect: Option<i64> = None;
+    let mut base_makespan: Option<f64> = None;
+    let mut best4 = f64::INFINITY;
+    for (n, policy) in cells {
+        let per_cfg = gcsm::shard_config(&cfg, n);
+        let engines: Vec<Box<dyn gcsm::Engine>> = (0..n)
+            .map(|_| Box::new(GcsmEngine::new(per_cfg.clone())) as Box<dyn gcsm::Engine>)
+            .collect();
+        let mut p =
+            ShardedPipeline::new(stream.initial.clone(), queries::triangle(), policy, engines);
+        let (mut dm, mut ms, mut mk, mut assign, mut imb) = (0i64, 0.0f64, 0.0f64, 0.0f64, 0.0f64);
+        let (mut cut, mut peer) = (0usize, 0u64);
+        for b in &batches {
+            let r = p.process_batch(b);
+            dm += r.merged.matches;
+            ms += r.merged.total_ms();
+            mk += r.makespan_seconds * 1e3;
+            assign += r.assignment_makespan_seconds * 1e3;
+            imb += r.imbalance;
+            cut += r.cut_updates;
+            peer += r.peer_bytes;
+        }
+        let nb = batches.len() as f64;
+        match expect {
+            None => expect = Some(dm),
+            Some(e) => assert_eq!(dm, e, "ΔM diverges at {n} shards ({})", policy.name()),
+        }
+        let speedup = match base_makespan {
+            None => {
+                base_makespan = Some(mk);
+                "1.00x (ref)".to_string()
+            }
+            Some(reference) => {
+                if n == 4 {
+                    best4 = best4.min(mk);
+                }
+                format!("{:.2}x", reference / mk)
+            }
+        };
+        t.row(vec![
+            format!("{n}"),
+            policy.name().into(),
+            format!("{dm:+}"),
+            format!("{:.3}", ms / nb),
+            format!("{:.3}", mk / nb),
+            speedup,
+            format!("{:.3}", assign / nb),
+            format!("{:.2}", imb / nb),
+            format!("{:.0}", cut as f64 / nb),
+            fmt_bytes(peer as f64 / nb),
+        ]);
+    }
+    let reference = base_makespan.expect("baseline row ran");
+    assert!(
+        best4 * 2.0 <= reference,
+        "4-shard makespan {best4:.3} ms not >= 2x below 1-shard {reference:.3} ms"
+    );
     t
 }
 

@@ -49,6 +49,7 @@ pub mod khop;
 pub mod multi;
 pub mod pipeline;
 pub mod result;
+pub mod sharded;
 pub mod sources;
 pub mod stream;
 
@@ -60,6 +61,7 @@ pub use engines::{
 pub use multi::{MultiBatchResult, MultiPipeline};
 pub use pipeline::Pipeline;
 pub use result::{record_batch_metrics, BatchResult, PhaseBreakdown, SealReason, StreamMeta};
+pub use sharded::{shard_config, ShardedBatchResult, ShardedPipeline};
 pub use stream::{
     Backpressure, SealPolicy, SequenceMode, StreamConfig, StreamProducer, StreamSession,
 };
@@ -74,6 +76,7 @@ pub mod prelude {
     pub use crate::multi::{MultiBatchResult, MultiPipeline};
     pub use crate::pipeline::Pipeline;
     pub use crate::result::{BatchResult, PhaseBreakdown, SealReason, StreamMeta};
+    pub use crate::sharded::{shard_config, ShardedBatchResult, ShardedPipeline};
     pub use crate::stream::{
         Backpressure, SealPolicy, SequenceMode, StreamBatch, StreamConfig, StreamSession,
     };

@@ -6,10 +6,17 @@
 //! update and reorganisation work; [`MultiPipeline`] shares steps 1 and 5
 //! of Fig. 3 across all registered queries and invokes each query's engine
 //! on the same sealed batch.
+//!
+//! The pipeline-level mechanisms of [`crate::Pipeline`] apply here too:
+//! [`MultiPipeline::set_overlap`] detaches the shared Step-5 reorganisation
+//! onto a worker thread while the next batch is ingested (charging only the
+//! exposed remainder), and each engine's own `EngineConfig` — including
+//! `delta_cache` — governs its matching invocation unchanged. Each query's
+//! invocation is traced as a `query` span (`level` = registration index).
 
 use crate::engines::Engine;
 use crate::result::BatchResult;
-use gcsm_graph::{CsrGraph, DynamicGraph, EdgeUpdate};
+use gcsm_graph::{CsrGraph, DynamicGraph, EdgeUpdate, ReorgResult};
 use gcsm_pattern::QueryGraph;
 
 /// A registered query with its engine.
@@ -18,10 +25,23 @@ struct Registered {
     engine: Box<dyn Engine>,
 }
 
+/// An in-flight overlapped reorganization of the previous batch.
+struct PendingReorg {
+    handle: std::thread::JoinHandle<ReorgResult>,
+    /// Modeled CPU seconds of the detached merge work; charged as the
+    /// exposed remainder once the next batch's ingest window is known.
+    sim_seconds: f64,
+}
+
 /// Pipeline over one dynamic graph and many (query, engine) pairs.
 pub struct MultiPipeline {
     graph: DynamicGraph,
     queries: Vec<Registered>,
+    /// Batches processed so far; labels the `batch` spans in traces.
+    batches: u64,
+    /// Double-buffered mode: reorganize batch *k* while ingesting *k+1*.
+    overlap: bool,
+    pending: Option<PendingReorg>,
 }
 
 /// Per-query outcome of one batch.
@@ -46,7 +66,39 @@ impl MultiBatchResult {
 impl MultiPipeline {
     /// Pipeline over an initial snapshot.
     pub fn new(initial: CsrGraph) -> Self {
-        Self { graph: DynamicGraph::from_csr(&initial), queries: Vec::new() }
+        Self {
+            graph: DynamicGraph::from_csr(&initial),
+            queries: Vec::new(),
+            batches: 0,
+            overlap: false,
+            pending: None,
+        }
+    }
+
+    /// Enable/disable overlapped reorganization for subsequent batches. An
+    /// already in-flight reorganization (if any) still joins normally on
+    /// the next batch or [`Self::flush`].
+    pub fn set_overlap(&mut self, on: bool) {
+        self.overlap = on;
+    }
+
+    /// Whether overlapped reorganization is enabled.
+    pub fn overlap(&self) -> bool {
+        self.overlap
+    }
+
+    /// Join and install an in-flight overlapped reorganization, if any.
+    /// Returns the modeled CPU seconds of the joined work that no later
+    /// batch will hide (0.0 when nothing was pending).
+    pub fn flush(&mut self) -> f64 {
+        match self.pending.take() {
+            Some(p) => {
+                let res = p.handle.join().expect("reorganize worker panicked");
+                self.graph.install_reorg(res);
+                p.sim_seconds
+            }
+            None => 0.0,
+        }
     }
 
     /// Register a query with its own engine. Returns `self` for chaining.
@@ -69,15 +121,24 @@ impl MultiPipeline {
     /// reorganisation, `k` matching invocations.
     pub fn process_batch(&mut self, updates: &[EdgeUpdate]) -> MultiBatchResult {
         let mut batch_span = gcsm_obs::span("batch", gcsm_obs::cat::PIPELINE);
+        batch_span.set_batch(self.batches);
         batch_span.set_count(updates.len() as u64);
-        // Step 1 (shared).
+        self.batches += 1;
+        // Step 1 (shared). With an overlapped reorganization in flight the
+        // updates are journaled (staged batch) and replay inside
+        // `seal_batch` after the merge result lands, as in `Pipeline`.
         {
             let _span = gcsm_obs::span("ingest", gcsm_obs::cat::PIPELINE);
-            self.graph.begin_batch();
+            if self.pending.is_some() {
+                self.graph.begin_staged_batch();
+            } else {
+                self.graph.begin_batch();
+            }
             for &u in updates {
                 self.graph.apply(u);
             }
         }
+        let carried_sim = self.flush();
         let summary = {
             let _span = gcsm_obs::span("seal", gcsm_obs::cat::PIPELINE);
             self.graph.seal_batch()
@@ -87,10 +148,16 @@ impl MultiPipeline {
         let touched_bytes: usize =
             self.graph.updated_vertices().iter().map(|&v| self.graph.list_bytes(v)).sum();
         let update_sim = touched_bytes as f64 / cpu_bw;
+        // Exposed remainder of the joined overlapped work: only what its
+        // modeled cost exceeds the ingest window it hid behind.
+        let exposed_sim = (carried_sim - update_sim).max(0.0);
 
         // Steps 2–4 per query.
         let mut per_query = Vec::with_capacity(self.queries.len());
-        for reg in &mut self.queries {
+        for (idx, reg) in self.queries.iter_mut().enumerate() {
+            let mut q_span = gcsm_obs::span("query", gcsm_obs::cat::ENGINE);
+            q_span.set_batch(self.batches - 1);
+            q_span.set_level(idx as u32);
             let mut r = reg.engine.match_sealed(&self.graph, &summary.applied, &reg.query);
             // The shared update cost is attributed once, to the first query.
             if per_query.is_empty() {
@@ -102,9 +169,28 @@ impl MultiPipeline {
         // Step 5 (shared).
         let reorg_bytes: usize =
             self.graph.updated_vertices().iter().map(|&v| self.graph.list_bytes(v)).sum();
-        self.graph.reorganize();
+        let reorg_sim = 2.0 * reorg_bytes as f64 / cpu_bw;
+        let deferred = if self.overlap {
+            let task = self.graph.take_reorg_task();
+            if task.is_trivial() {
+                self.graph.install_reorg(task.compute());
+                false
+            } else {
+                let handle = std::thread::spawn(move || {
+                    let mut span = gcsm_obs::span("reorg_overlap", gcsm_obs::cat::GRAPH);
+                    let res = task.compute();
+                    span.set_count(res.len() as u64);
+                    res
+                });
+                self.pending = Some(PendingReorg { handle, sim_seconds: reorg_sim });
+                true
+            }
+        } else {
+            self.graph.reorganize();
+            false
+        };
         if let Some((_, first)) = per_query.first_mut() {
-            first.phases.reorganize += 2.0 * reorg_bytes as f64 / cpu_bw;
+            first.phases.reorganize += exposed_sim + if deferred { 0.0 } else { reorg_sim };
         }
         drop(batch_span);
         for (_, r) in &per_query {
@@ -165,6 +251,65 @@ mod tests {
         // Batch 2 restores triangle {0,1,2}.
         assert_eq!(r2.per_query[0].1.matches, 6);
         assert!(r1.total_matches() != 0 || r2.total_matches() != 0);
+    }
+
+    #[test]
+    fn overlapped_multi_matches_serial() {
+        let (g0, batch) = setup();
+        let cfg = EngineConfig::default();
+        let batches: Vec<Vec<EdgeUpdate>> = vec![
+            batch,
+            vec![EdgeUpdate::insert(0, 1), EdgeUpdate::insert(1, 5)],
+            vec![EdgeUpdate::delete(2, 4), EdgeUpdate::insert(0, 6)],
+        ];
+        let build = |overlap: bool| {
+            let mut m = MultiPipeline::new(g0.clone())
+                .register(queries::triangle(), Box::new(GcsmEngine::new(cfg.clone())))
+                .register(queries::q1(), Box::new(ZeroCopyEngine::new(cfg.clone())));
+            m.set_overlap(overlap);
+            m
+        };
+        let mut serial = build(false);
+        let mut overlapped = build(true);
+        for b in &batches {
+            let rs = serial.process_batch(b);
+            let ro = overlapped.process_batch(b);
+            for ((n1, r1), (n2, r2)) in rs.per_query.iter().zip(ro.per_query.iter()) {
+                assert_eq!(n1, n2);
+                assert_eq!(r1.matches, r2.matches, "{n1} diverged under overlap");
+            }
+        }
+        overlapped.flush();
+        assert!(overlapped.graph().updated_vertices().is_empty());
+        let a = serial.graph().to_csr().edges().collect::<Vec<_>>();
+        let b = overlapped.graph().to_csr().edges().collect::<Vec<_>>();
+        assert_eq!(a, b, "final graphs must agree");
+    }
+
+    #[test]
+    fn delta_cache_config_flows_through_registered_engines() {
+        let (g0, batch) = setup();
+        let cached = EngineConfig { delta_cache: true, ..Default::default() };
+        let plain = EngineConfig::default();
+        let mut with_cache = MultiPipeline::new(g0.clone())
+            .register(queries::triangle(), Box::new(GcsmEngine::new(cached)));
+        let mut without =
+            MultiPipeline::new(g0).register(queries::triangle(), Box::new(GcsmEngine::new(plain)));
+        let batches = [batch, vec![EdgeUpdate::insert(0, 4), EdgeUpdate::insert(1, 6)]];
+        let mut dma_cached = 0u64;
+        let mut dma_plain = 0u64;
+        for b in &batches {
+            let rc = with_cache.process_batch(b);
+            let rp = without.process_batch(b);
+            assert_eq!(
+                rc.per_query[0].1.matches, rp.per_query[0].1.matches,
+                "delta shipping must not change counts"
+            );
+            dma_cached += rc.per_query[0].1.traffic.dma_bytes;
+            dma_plain += rp.per_query[0].1.traffic.dma_bytes;
+        }
+        // After warm-up, delta shipping can only reduce DMA volume.
+        assert!(dma_cached <= dma_plain, "delta {dma_cached} vs full {dma_plain}");
     }
 
     #[test]

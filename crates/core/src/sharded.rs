@@ -1,0 +1,418 @@
+//! Multi-device sharded execution.
+//!
+//! [`ShardedPipeline`] generalizes [`crate::Pipeline`] to `N` simulated
+//! devices. The host still owns the single ground-truth [`DynamicGraph`]
+//! (steps 1 and 5 of Fig. 3 are CPU work and happen once — the paper's
+//! zero-copy story puts the sealed lists in pinned host memory, which every
+//! device can read). What is sharded is the *matching work*: the batch's
+//! `ΔE` is routed by `gcsm-shard` so each update's delta seeds are
+//! enumerated by exactly one shard — the owner of the update's canonical
+//! lower endpoint — making the summed per-shard `ΔM` bit-identical to the
+//! single-device pipeline (DESIGN.md §12).
+//!
+//! Cut updates (endpoint owners differ) are additionally mirrored to the
+//! non-counting owner so its replicated boundary lists stay current; each
+//! mirrored update is charged to that shard's peer link
+//! ([`gcsm_shard::PEER_UPDATE_BYTES`] per update via
+//! [`gcsm_gpusim::Device::peer_copy`]) and lands in the shard's `data_copy`
+//! phase, so partition quality is visible in simulated time, not just in
+//! counters.
+//!
+//! ## Merge semantics
+//!
+//! Counts (`ΔM`, matcher stats, traffic, bytes) are **sums** — the shards
+//! partition the work. Engine phases (`freq_est`, `data_copy`, `matching`)
+//! are **maxima** — the devices run concurrently, so the batch finishes
+//! when the slowest shard does. Host phases (`update`, `reorganize`) are
+//! charged once, exactly as in the single-device pipeline.
+
+use crate::config::EngineConfig;
+use crate::engines::Engine;
+use crate::result::BatchResult;
+use gcsm_gpusim::{imbalance_factor, makespan, Device, Scheduling, SimBreakdown};
+use gcsm_graph::{CsrGraph, DynamicGraph, EdgeUpdate};
+use gcsm_pattern::QueryGraph;
+use gcsm_shard::{route, PartitionPolicy, Partitioning};
+use rayon::prelude::*;
+
+/// One shard: an engine bound to its device's peer link.
+struct Shard {
+    engine: Box<dyn Engine>,
+    /// Models the inter-device link; replica mirrors are charged here.
+    link: Device,
+}
+
+/// Outcome of one batch across all shards.
+#[derive(Clone, Debug)]
+pub struct ShardedBatchResult {
+    /// The merged, single-device-equivalent record (see module docs for
+    /// sum-vs-max semantics). `merged.matches` is the exact `ΔM`.
+    pub merged: BatchResult,
+    /// Each shard's own measurement, in shard order.
+    pub per_shard: Vec<BatchResult>,
+    /// Bytes mirrored over peer links for cut updates this batch.
+    pub peer_bytes: u64,
+    /// Updates whose endpoints live on different shards.
+    pub cut_updates: usize,
+    /// Achieved parallel engine time: the slowest shard's engine phases.
+    pub makespan_seconds: f64,
+    /// Modeled makespan of this batch's per-update costs re-assigned
+    /// across the shards under the configured [`Scheduling`] policy.
+    pub assignment_makespan_seconds: f64,
+    /// `assignment makespan / ideal` (≥ 1): how far the shard assignment
+    /// is from perfect balance.
+    pub imbalance: f64,
+}
+
+/// Derive a per-shard engine config from a total budget: each device gets
+/// `1/N` of the cache budget (and proportionally scaled capacity), keeping
+/// every link/compute constant of the base config.
+pub fn shard_config(base: &EngineConfig, num_shards: usize) -> EngineConfig {
+    let n = num_shards.max(1);
+    let mut gpu = base.gpu;
+    gpu.um_cache_bytes /= n;
+    gpu.device_capacity /= n;
+    gpu.kernel_reserved /= n;
+    EngineConfig { gpu, ..base.clone() }
+}
+
+/// Drives `N` engines, one per shard, over a stream of batches.
+pub struct ShardedPipeline {
+    graph: DynamicGraph,
+    query: QueryGraph,
+    part: Partitioning,
+    shards: Vec<Shard>,
+    batches: u64,
+}
+
+impl ShardedPipeline {
+    /// Pipeline over an initial snapshot, partitioned under `policy` into
+    /// one shard per engine. Panics if `engines` is empty.
+    pub fn new(
+        initial: CsrGraph,
+        query: QueryGraph,
+        policy: PartitionPolicy,
+        engines: Vec<Box<dyn Engine>>,
+    ) -> Self {
+        assert!(!engines.is_empty(), "sharded pipeline needs at least one engine");
+        let part = Partitioning::compute(&initial, policy, engines.len());
+        let shards = engines
+            .into_iter()
+            .map(|engine| {
+                let link = Device::new(engine.config().gpu);
+                Shard { engine, link }
+            })
+            .collect();
+        Self { graph: DynamicGraph::from_csr(&initial), query, part, shards, batches: 0 }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The vertex partitioning in effect.
+    pub fn partitioning(&self) -> &Partitioning {
+        &self.part
+    }
+
+    /// The current graph state.
+    pub fn graph(&self) -> &DynamicGraph {
+        &self.graph
+    }
+
+    /// The query.
+    pub fn query(&self) -> &QueryGraph {
+        &self.query
+    }
+
+    /// Count the query's matches on the *current* graph from scratch (same
+    /// ground truth as [`crate::Pipeline::static_count`]).
+    pub fn static_count(&self, symmetry_break: bool) -> i64 {
+        let snapshot = self.graph.to_csr();
+        let src = gcsm_matcher::CsrSource::new(&snapshot);
+        let opts = gcsm_matcher::DriverOptions {
+            plan: gcsm_pattern::PlanOptions { symmetry_break },
+            parallel: true,
+            ..Default::default()
+        };
+        gcsm_matcher::match_static(&src, &self.query, &snapshot.edges().collect::<Vec<_>>(), &opts)
+            .matches
+    }
+
+    /// Process one batch end to end across all shards.
+    pub fn process_batch(&mut self, updates: &[EdgeUpdate]) -> ShardedBatchResult {
+        let wall = gcsm_obs::Stopwatch::start();
+        let cpu_bw = self.shards[0].engine.config().gpu.cpu_mem_bandwidth;
+        let scheduling = self.shards[0].engine.config().scheduling;
+        let mut batch_span = gcsm_obs::span("batch", gcsm_obs::cat::PIPELINE);
+        batch_span.set_batch(self.batches);
+        batch_span.set_count(updates.len() as u64);
+        let batch_idx = self.batches;
+        self.batches += 1;
+
+        // ---- Step 1 (host, once): append ΔE to the CPU lists ----
+        {
+            let _span = gcsm_obs::span("ingest", gcsm_obs::cat::PIPELINE);
+            self.graph.begin_batch();
+            for &u in updates {
+                self.graph.apply(u);
+            }
+        }
+        let summary = {
+            let _span = gcsm_obs::span("seal", gcsm_obs::cat::PIPELINE);
+            self.graph.seal_batch()
+        };
+        let touched_bytes: usize =
+            self.graph.updated_vertices().iter().map(|&v| self.graph.list_bytes(v)).sum();
+        let update_sim = touched_bytes as f64 / cpu_bw;
+
+        // ---- Route ΔE to its counting shards ----
+        let routed = {
+            let _span = gcsm_obs::span("route", gcsm_obs::cat::PIPELINE);
+            route(&summary.applied, &self.part)
+        };
+
+        // ---- Steps 2–4: every shard matches its subset, in parallel ----
+        let graph = &self.graph;
+        let query = &self.query;
+        let jobs: Vec<(usize, &[EdgeUpdate], u64)> = routed
+            .per_shard_match
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (i, a.as_slice(), routed.peer_bytes_to[i]))
+            .collect();
+        let per_shard: Vec<BatchResult> = self
+            .shards
+            .par_iter_mut()
+            .zip(jobs.into_par_iter())
+            .map(|(shard, (idx, assigned, peer_in))| {
+                let mut span = gcsm_obs::span("shard_match", gcsm_obs::cat::ENGINE);
+                span.set_batch(batch_idx);
+                span.set_shard(idx as u32);
+                span.set_count(assigned.len() as u64);
+                let mut r = shard.engine.match_sealed(graph, assigned, query);
+                // Mirror the cut updates this shard replicates but does not
+                // count: one batched peer transfer over its link, charged to
+                // the shard's data-copy phase like any other inbound bytes.
+                if peer_in > 0 {
+                    let before = shard.link.snapshot();
+                    shard.link.peer_copy(peer_in as usize);
+                    let interval = shard.link.snapshot() - before;
+                    let peer = SimBreakdown::from_traffic(&interval, &shard.engine.config().gpu);
+                    r.phases.data_copy += peer.peer;
+                    r.sim = r.sim + peer;
+                    r.traffic = r.traffic + interval;
+                }
+                r
+            })
+            .collect();
+
+        // ---- Merge ----
+        let engine_seconds =
+            |r: &BatchResult| r.phases.freq_est + r.phases.data_copy + r.phases.matching;
+        let makespan_seconds = per_shard.iter().map(engine_seconds).fold(0.0, f64::max);
+        let mut merged = BatchResult {
+            engine: format!("{}x{}", self.shards.len(), per_shard[0].engine),
+            ..Default::default()
+        };
+        for r in &per_shard {
+            merged.matches += r.matches;
+            merged.stats.merge(r.stats);
+            merged.traffic = merged.traffic + r.traffic;
+            merged.sim = merged.sim + r.sim;
+            merged.cpu_access_bytes += r.cpu_access_bytes;
+            merged.cached_bytes += r.cached_bytes;
+            merged.aux_bytes += r.aux_bytes;
+            merged.phases.freq_est = merged.phases.freq_est.max(r.phases.freq_est);
+            merged.phases.data_copy = merged.phases.data_copy.max(r.phases.data_copy);
+            merged.phases.matching = merged.phases.matching.max(r.phases.matching);
+        }
+        merged.cache_hit_rate = merged.traffic.cache_hit_rate();
+
+        // ---- Load-balance model: re-assign this batch's per-update costs
+        // across the shards under the configured scheduling policy ----
+        let (assignment_makespan_seconds, imbalance) =
+            self.assignment_makespan(&summary.applied, &per_shard, scheduling);
+
+        // ---- Step 5 (host, once): reorganize ----
+        let reorg_bytes: usize =
+            self.graph.updated_vertices().iter().map(|&v| self.graph.list_bytes(v)).sum();
+        let reorg_sim = 2.0 * reorg_bytes as f64 / cpu_bw;
+        self.graph.reorganize();
+
+        merged.phases.update += update_sim;
+        merged.phases.reorganize += reorg_sim;
+        merged.wall_seconds = wall.elapsed_seconds();
+        drop(batch_span);
+        crate::result::record_batch_metrics(&merged);
+
+        ShardedBatchResult {
+            merged,
+            per_shard,
+            peer_bytes: routed.peer_bytes(),
+            cut_updates: routed.cut_updates,
+            makespan_seconds,
+            assignment_makespan_seconds,
+            imbalance,
+        }
+    }
+
+    /// Model the batch's per-update costs as schedulable tasks: each
+    /// shard's engine seconds spread uniformly over its assigned updates,
+    /// tasks listed in batch order, then scheduled onto `N` "blocks"
+    /// (devices) under `policy`. Returns `(makespan_seconds, imbalance)`.
+    fn assignment_makespan(
+        &self,
+        applied: &[EdgeUpdate],
+        per_shard: &[BatchResult],
+        policy: Scheduling,
+    ) -> (f64, f64) {
+        let engine_seconds =
+            |r: &BatchResult| r.phases.freq_est + r.phases.data_copy + r.phases.matching;
+        let counts: Vec<usize> = {
+            let mut c = vec![0usize; self.shards.len()];
+            for u in applied {
+                c[self.part.counting_shard(u)] += 1;
+            }
+            c
+        };
+        let per_update_ns: Vec<u64> = per_shard
+            .iter()
+            .zip(&counts)
+            .map(|(r, &c)| if c == 0 { 0 } else { (engine_seconds(r) * 1e9 / c as f64) as u64 })
+            .collect();
+        let task_costs: Vec<u64> =
+            applied.iter().map(|u| per_update_ns[self.part.counting_shard(u)]).collect();
+        let blocks = self.shards.len();
+        let ms = makespan(&task_costs, blocks, policy) as f64 * 1e-9;
+        let imb = imbalance_factor(&task_costs, blocks, policy);
+        (ms, imb)
+    }
+
+    /// Process a whole stream of batches, returning per-batch results.
+    pub fn process_stream<'a>(
+        &mut self,
+        batches: impl Iterator<Item = &'a [EdgeUpdate]>,
+    ) -> Vec<ShardedBatchResult> {
+        batches.map(|b| self.process_batch(b)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engines::{GcsmEngine, ZeroCopyEngine};
+    use crate::pipeline::Pipeline;
+    use gcsm_pattern::queries;
+
+    fn setup() -> (CsrGraph, Vec<Vec<EdgeUpdate>>) {
+        let g0 = CsrGraph::from_edges(8, &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (5, 6)]);
+        let batches = vec![
+            vec![EdgeUpdate::insert(2, 4), EdgeUpdate::delete(0, 1)],
+            vec![EdgeUpdate::insert(4, 6), EdgeUpdate::insert(5, 7)],
+            vec![EdgeUpdate::insert(0, 1), EdgeUpdate::delete(2, 4), EdgeUpdate::insert(6, 7)],
+        ];
+        (g0, batches)
+    }
+
+    fn engines(n: usize) -> Vec<Box<dyn Engine>> {
+        let base = EngineConfig::default();
+        (0..n)
+            .map(|_| Box::new(GcsmEngine::new(shard_config(&base, n))) as Box<dyn Engine>)
+            .collect()
+    }
+
+    #[test]
+    fn one_shard_reproduces_the_single_device_pipeline() {
+        let (g0, batches) = setup();
+        let mut single = Pipeline::new(g0.clone(), queries::triangle());
+        let mut e = GcsmEngine::new(EngineConfig::default());
+        let mut sharded =
+            ShardedPipeline::new(g0, queries::triangle(), PartitionPolicy::Range, engines(1));
+        for b in &batches {
+            let r1 = single.process_batch(&mut e, b);
+            let rn = sharded.process_batch(b);
+            assert_eq!(rn.merged.matches, r1.matches);
+            assert_eq!(rn.peer_bytes, 0, "one shard has no peer traffic");
+            assert_eq!(rn.cut_updates, 0);
+            // Host phases are charged identically.
+            assert!((rn.merged.phases.update - r1.phases.update).abs() < 1e-15);
+            assert!((rn.merged.phases.reorganize - r1.phases.reorganize).abs() < 1e-15);
+        }
+        assert_eq!(sharded.static_count(false), single.static_count(false));
+    }
+
+    #[test]
+    fn sharded_delta_counts_match_single_device() {
+        let (g0, batches) = setup();
+        for policy in
+            [PartitionPolicy::HashSrc, PartitionPolicy::Range, PartitionPolicy::DegreeBalanced]
+        {
+            for n in [2usize, 3, 4] {
+                let mut single = Pipeline::new(g0.clone(), queries::triangle());
+                let mut e = ZeroCopyEngine::new(EngineConfig::default());
+                let mut sharded =
+                    ShardedPipeline::new(g0.clone(), queries::triangle(), policy, engines(n));
+                for b in &batches {
+                    let expect = single.process_batch(&mut e, b).matches;
+                    let got = sharded.process_batch(b);
+                    assert_eq!(got.merged.matches, expect, "{policy:?}/{n} shards diverged");
+                    assert_eq!(
+                        got.per_shard.iter().map(|r| r.matches).sum::<i64>(),
+                        got.merged.matches
+                    );
+                }
+                assert_eq!(sharded.static_count(false), single.static_count(false));
+            }
+        }
+    }
+
+    #[test]
+    fn cut_updates_generate_peer_traffic() {
+        let (g0, _) = setup();
+        // Range over 8 vertices / 2 shards: {0..4} vs {4..8}; (3,4) and
+        // (2,5) are cut, (0,1) is local.
+        let mut sharded =
+            ShardedPipeline::new(g0, queries::triangle(), PartitionPolicy::Range, engines(2));
+        let r = sharded.process_batch(&[
+            EdgeUpdate::insert(3, 5),
+            EdgeUpdate::insert(1, 3),
+            EdgeUpdate::delete(0, 1),
+        ]);
+        assert_eq!(r.cut_updates, 1);
+        assert_eq!(r.peer_bytes, gcsm_shard::PEER_UPDATE_BYTES);
+        assert_eq!(r.merged.traffic.peer_bytes, gcsm_shard::PEER_UPDATE_BYTES);
+        assert!(r.merged.traffic.peer_copies >= 1);
+        // The mirrored bytes cost simulated data-copy time on the replica.
+        assert!(r.merged.sim.peer > 0.0);
+    }
+
+    #[test]
+    fn makespan_and_imbalance_are_reported() {
+        let (g0, batches) = setup();
+        let mut sharded =
+            ShardedPipeline::new(g0, queries::triangle(), PartitionPolicy::HashSrc, engines(2));
+        for b in &batches {
+            let r = sharded.process_batch(b);
+            assert!(r.makespan_seconds >= 0.0);
+            assert!(r.assignment_makespan_seconds >= 0.0);
+            assert!(r.imbalance >= 1.0);
+            // The merged engine phases are maxima over shards, so the
+            // achieved makespan is exactly their sum.
+            let merged_engine =
+                r.merged.phases.freq_est + r.merged.phases.data_copy + r.merged.phases.matching;
+            assert!(r.makespan_seconds <= merged_engine + 1e-12);
+        }
+    }
+
+    #[test]
+    fn shard_config_splits_the_budget() {
+        let base = EngineConfig::with_cache_budget(1 << 20);
+        let per = shard_config(&base, 4);
+        assert_eq!(per.gpu.cache_budget(), (1 << 20) / 4);
+        assert_eq!(per.gpu.dma_bandwidth, base.gpu.dma_bandwidth);
+        let degenerate = shard_config(&base, 0);
+        assert_eq!(degenerate.gpu.cache_budget(), 1 << 20);
+    }
+}

@@ -450,8 +450,8 @@ fn record_sealed_obs(sealed: &SealedBatch, dropped: &AtomicU64) {
         open_us,
         gcsm_obs::SpanArgs {
             batch: Some(sealed.meta.batch_index),
-            level: None,
             count: Some(sealed.meta.admitted as u64),
+            ..Default::default()
         },
     );
     obs.registry.gauge("stream.queue_depth").set(sealed.meta.queue_depth as i64);

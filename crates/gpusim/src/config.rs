@@ -25,6 +25,10 @@ pub struct GpuConfig {
     /// thousands of threads in flight most latency is hidden; this is the
     /// residual per-line cost beyond bandwidth.
     pub zerocopy_stall: f64,
+    /// Effective device-to-device (peer) bandwidth for sharded execution,
+    /// bytes/second. PCIe peer transfers route through the host bridge, so
+    /// the default matches the DMA link; NVLink-class fabrics raise it.
+    pub peer_bandwidth: f64,
 
     // ---- unified memory ----
     /// Page size, bytes (4 KiB).
@@ -83,6 +87,7 @@ impl GpuConfig {
             zerocopy_bandwidth: 3.0e9,
             zerocopy_line: 128,
             zerocopy_stall: 2.0e-9,
+            peer_bandwidth: 12.0e9,
             um_page: 4096,
             um_fault_latency: 20.0e-6,
             um_cache_bytes: cache_budget_bytes,
@@ -111,6 +116,7 @@ impl GpuConfig {
         let mut c = Self::rtx3090_scaled(cache_budget_bytes);
         c.dma_bandwidth = 24.0e9;
         c.zerocopy_bandwidth = 6.0e9;
+        c.peer_bandwidth = 24.0e9;
         c
     }
 
@@ -124,6 +130,7 @@ impl GpuConfig {
         c.zerocopy_bandwidth = 20.0e9;
         c.zerocopy_stall = 0.5e-9;
         c.um_fault_latency = 10.0e-6;
+        c.peer_bandwidth = 50.0e9;
         c
     }
 

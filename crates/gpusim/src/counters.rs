@@ -35,6 +35,11 @@ pub struct Traffic {
     pub cache_hits: AtomicU64,
     /// Neighbor-list accesses that fell through to the CPU.
     pub cache_misses: AtomicU64,
+    /// Bytes shipped over the inter-device link (replica maintenance for
+    /// boundary updates in sharded execution).
+    pub peer_bytes: AtomicU64,
+    /// Inter-device transfer transactions (each pays the DMA setup cost).
+    pub peer_copies: AtomicU64,
 }
 
 macro_rules! add_methods {
@@ -65,6 +70,8 @@ add_methods! {
     kernel_launches => add_kernel_launches,
     cache_hits => add_cache_hits,
     cache_misses => add_cache_misses,
+    peer_bytes => add_peer_bytes,
+    peer_copies => add_peer_copies,
 }
 
 impl Traffic {
@@ -84,6 +91,8 @@ impl Traffic {
             kernel_launches: self.kernel_launches.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            peer_bytes: self.peer_bytes.load(Ordering::Relaxed),
+            peer_copies: self.peer_copies.load(Ordering::Relaxed),
         }
     }
 
@@ -103,6 +112,8 @@ impl Traffic {
             &self.kernel_launches,
             &self.cache_hits,
             &self.cache_misses,
+            &self.peer_bytes,
+            &self.peer_copies,
         ] {
             a.store(0, Ordering::Relaxed);
         }
@@ -125,6 +136,8 @@ pub struct TrafficSnapshot {
     pub kernel_launches: u64,
     pub cache_hits: u64,
     pub cache_misses: u64,
+    pub peer_bytes: u64,
+    pub peer_copies: u64,
 }
 
 impl TrafficSnapshot {
@@ -136,7 +149,7 @@ impl TrafficSnapshot {
 
     /// `(field, value)` pairs in declaration order, for data-driven export
     /// (e.g. folding interval traffic into an observability registry).
-    pub fn named_fields(&self) -> [(&'static str, u64); 13] {
+    pub fn named_fields(&self) -> [(&'static str, u64); 15] {
         [
             ("dma_bytes", self.dma_bytes),
             ("dma_transactions", self.dma_transactions),
@@ -151,6 +164,8 @@ impl TrafficSnapshot {
             ("kernel_launches", self.kernel_launches),
             ("cache_hits", self.cache_hits),
             ("cache_misses", self.cache_misses),
+            ("peer_bytes", self.peer_bytes),
+            ("peer_copies", self.peer_copies),
         ]
     }
 
@@ -182,6 +197,33 @@ impl std::ops::Sub for TrafficSnapshot {
             kernel_launches: self.kernel_launches - rhs.kernel_launches,
             cache_hits: self.cache_hits - rhs.cache_hits,
             cache_misses: self.cache_misses - rhs.cache_misses,
+            peer_bytes: self.peer_bytes - rhs.peer_bytes,
+            peer_copies: self.peer_copies - rhs.peer_copies,
+        }
+    }
+}
+
+impl std::ops::Add for TrafficSnapshot {
+    type Output = TrafficSnapshot;
+    /// Merge interval traffic from several devices (sharded execution sums
+    /// its per-shard snapshots into one merged record).
+    fn add(self, rhs: Self) -> Self {
+        Self {
+            dma_bytes: self.dma_bytes + rhs.dma_bytes,
+            dma_transactions: self.dma_transactions + rhs.dma_transactions,
+            dma_saved_bytes: self.dma_saved_bytes + rhs.dma_saved_bytes,
+            zerocopy_bytes: self.zerocopy_bytes + rhs.zerocopy_bytes,
+            zerocopy_transactions: self.zerocopy_transactions + rhs.zerocopy_transactions,
+            um_faults: self.um_faults + rhs.um_faults,
+            um_hits: self.um_hits + rhs.um_hits,
+            device_bytes: self.device_bytes + rhs.device_bytes,
+            gpu_ops: self.gpu_ops + rhs.gpu_ops,
+            cpu_ops: self.cpu_ops + rhs.cpu_ops,
+            kernel_launches: self.kernel_launches + rhs.kernel_launches,
+            cache_hits: self.cache_hits + rhs.cache_hits,
+            cache_misses: self.cache_misses + rhs.cache_misses,
+            peer_bytes: self.peer_bytes + rhs.peer_bytes,
+            peer_copies: self.peer_copies + rhs.peer_copies,
         }
     }
 }
@@ -245,14 +287,27 @@ mod tests {
             kernel_launches: 11,
             cache_hits: 12,
             cache_misses: 13,
+            peer_bytes: 14,
+            peer_copies: 15,
         };
         let fields = s.named_fields();
         let values: Vec<u64> = fields.iter().map(|&(_, v)| v).collect();
-        assert_eq!(values, (1..=13).collect::<Vec<u64>>());
+        assert_eq!(values, (1..=15).collect::<Vec<u64>>());
         let mut names: Vec<&str> = fields.iter().map(|&(n, _)| n).collect();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 13, "field names must be distinct");
+        assert_eq!(names.len(), 15, "field names must be distinct");
+    }
+
+    #[test]
+    fn snapshot_addition_merges_componentwise() {
+        let a = TrafficSnapshot { dma_bytes: 10, peer_bytes: 3, ..Default::default() };
+        let b = TrafficSnapshot { dma_bytes: 5, peer_copies: 2, ..Default::default() };
+        let s = a + b;
+        assert_eq!(s.dma_bytes, 15);
+        assert_eq!(s.peer_bytes, 3);
+        assert_eq!(s.peer_copies, 2);
+        assert_eq!(s - b, a);
     }
 
     #[test]

@@ -95,6 +95,16 @@ impl Device {
         self.trace.record(TraceEvent::Dma { bytes: shipped });
     }
 
+    /// One inter-device transfer of `bytes` over the peer link (sharded
+    /// execution mirrors boundary updates to the replicating shard's
+    /// device). Charged like a DMA transaction but accounted separately so
+    /// the sharding layer's communication volume stays visible.
+    pub fn peer_copy(&self, bytes: usize) {
+        self.traffic.add_peer_copies(1);
+        self.traffic.add_peer_bytes(bytes as u64);
+        self.trace.record(TraceEvent::Peer { bytes });
+    }
+
     /// Record a neighbor-list read of `bytes` through `path`.
     ///
     /// `addr` is the list's virtual base address in the unified address
@@ -254,6 +264,24 @@ mod tests {
         });
         assert_eq!(hits.load(std::sync::atomic::Ordering::Relaxed), 1000);
         assert_eq!(d.snapshot().kernel_launches, 1);
+    }
+
+    #[test]
+    fn peer_copy_counts_bytes_and_transactions() {
+        let d = Device::with_trace(GpuConfig::default(), 8);
+        d.peer_copy(512);
+        d.peer_copy(64);
+        let s = d.snapshot();
+        assert_eq!(s.peer_copies, 2);
+        assert_eq!(s.peer_bytes, 576);
+        assert_eq!(s.dma_bytes, 0, "peer traffic must not pollute DMA");
+        assert_eq!(
+            d.trace().drain(),
+            vec![
+                crate::trace::TraceEvent::Peer { bytes: 512 },
+                crate::trace::TraceEvent::Peer { bytes: 64 },
+            ]
+        );
     }
 
     #[test]

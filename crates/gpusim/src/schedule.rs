@@ -20,8 +20,34 @@
 pub enum Scheduling {
     /// Round-robin static assignment (no stealing).
     Static,
+    /// Contiguous chunks in submission order: block `b` takes tasks
+    /// `[b·⌈n/B⌉, (b+1)·⌈n/B⌉)`. Preserves task locality (neighbouring
+    /// seeds share neighbourhoods) at the price of tolerating none of the
+    /// skew round-robin at least spreads out.
+    Chunked,
     /// Greedy list scheduling (work stealing).
     WorkStealing,
+}
+
+impl Scheduling {
+    /// CLI spelling of the policy.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Scheduling::Static => "static",
+            Scheduling::Chunked => "chunked",
+            Scheduling::WorkStealing => "stealing",
+        }
+    }
+
+    /// Parse a CLI spelling (`static`, `chunked`, `stealing`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "static" => Some(Scheduling::Static),
+            "chunked" => Some(Scheduling::Chunked),
+            "stealing" => Some(Scheduling::WorkStealing),
+            _ => None,
+        }
+    }
 }
 
 /// Makespan of `task_costs` on `blocks` parallel blocks under `policy`.
@@ -36,6 +62,10 @@ pub fn makespan(task_costs: &[u64], blocks: usize, policy: Scheduling) -> u64 {
                 loads[i % blocks] += c;
             }
             loads.into_iter().max().unwrap_or(0)
+        }
+        Scheduling::Chunked => {
+            let chunk = task_costs.len().div_ceil(blocks);
+            task_costs.chunks(chunk).map(|c| c.iter().sum()).max().unwrap_or(0)
         }
         Scheduling::WorkStealing => {
             // List scheduling via a min-heap of block finish times.
@@ -69,10 +99,32 @@ mod tests {
     #[test]
     fn uniform_tasks_balance_perfectly() {
         let costs = vec![10u64; 64];
-        for p in [Scheduling::Static, Scheduling::WorkStealing] {
+        for p in [Scheduling::Static, Scheduling::Chunked, Scheduling::WorkStealing] {
             assert_eq!(makespan(&costs, 8, p), 80);
             assert!((imbalance_factor(&costs, 8, p) - 1.0).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn chunked_assigns_contiguous_runs() {
+        // 6 tasks on 2 blocks: chunked takes [1,2,3] vs [10,1,1]; round-robin
+        // interleaves to [1,3,1] vs [2,10,1].
+        let costs = vec![1u64, 2, 3, 10, 1, 1];
+        assert_eq!(makespan(&costs, 2, Scheduling::Chunked), 12);
+        assert_eq!(makespan(&costs, 2, Scheduling::Static), 13);
+        assert_eq!(makespan(&costs, 2, Scheduling::WorkStealing), 12);
+        // A front-loaded burst punishes chunked hardest.
+        let burst = vec![100u64, 100, 1, 1];
+        assert_eq!(makespan(&burst, 2, Scheduling::Chunked), 200);
+        assert_eq!(makespan(&burst, 2, Scheduling::Static), 101);
+    }
+
+    #[test]
+    fn policy_names_round_trip() {
+        for p in [Scheduling::Static, Scheduling::Chunked, Scheduling::WorkStealing] {
+            assert_eq!(Scheduling::parse(p.name()), Some(p));
+        }
+        assert_eq!(Scheduling::parse("bogus"), None);
     }
 
     #[test]
@@ -111,7 +163,7 @@ mod tests {
     #[test]
     fn single_block_equals_total() {
         let costs = vec![3u64, 7, 11];
-        for p in [Scheduling::Static, Scheduling::WorkStealing] {
+        for p in [Scheduling::Static, Scheduling::Chunked, Scheduling::WorkStealing] {
             assert_eq!(makespan(&costs, 1, p), 21);
         }
     }

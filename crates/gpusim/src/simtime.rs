@@ -30,6 +30,9 @@ pub struct SimBreakdown {
     pub gpu_compute: f64,
     pub cpu_compute: f64,
     pub launches: f64,
+    /// Inter-device peer transfers (sharded replica maintenance): each
+    /// transaction pays the DMA setup, bytes stream at `peer_bandwidth`.
+    pub peer: f64,
     /// Host-side time charged by the engine itself (frequency estimation,
     /// packing, reorganisation). Filled in by the engine layer; zero here.
     pub host_extra: f64,
@@ -47,6 +50,7 @@ impl SimBreakdown {
             gpu_compute: t.gpu_ops as f64 * c.gpu_op_cost,
             cpu_compute: t.cpu_ops as f64 * c.cpu_op_cost,
             launches: t.kernel_launches as f64 * c.kernel_launch,
+            peer: t.peer_copies as f64 * c.dma_setup + t.peer_bytes as f64 / c.peer_bandwidth,
             host_extra: 0.0,
         }
     }
@@ -60,6 +64,7 @@ impl SimBreakdown {
             + self.gpu_compute
             + self.cpu_compute
             + self.launches
+            + self.peer
             + self.host_extra
     }
 
@@ -69,9 +74,9 @@ impl SimBreakdown {
     }
 
     /// The data-communication part (the paper's "DC" bars in Fig. 13):
-    /// DMA + launch-side copies, excluding matching-time memory traffic.
+    /// DMA + inter-device copies, excluding matching-time memory traffic.
     pub fn data_copy(&self) -> f64 {
-        self.dma
+        self.dma + self.peer
     }
 
     /// The matching-kernel part (the paper's "Match" bars in Fig. 13).
@@ -91,6 +96,7 @@ impl std::ops::Add for SimBreakdown {
             gpu_compute: self.gpu_compute + r.gpu_compute,
             cpu_compute: self.cpu_compute + r.cpu_compute,
             launches: self.launches + r.launches,
+            peer: self.peer + r.peer,
             host_extra: self.host_extra + r.host_extra,
         }
     }
@@ -196,6 +202,19 @@ mod tests {
                 proptest::prop_assert!(t1 > t0, "more traffic must cost more: {t1} vs {t0}");
             }
         }
+    }
+
+    #[test]
+    fn peer_traffic_costs_setup_plus_bandwidth() {
+        let c = cfg();
+        let t = TrafficSnapshot { peer_copies: 2, peer_bytes: 1 << 20, ..Default::default() };
+        let b = SimBreakdown::from_traffic(&t, &c);
+        let expect = 2.0 * c.dma_setup + (1u64 << 20) as f64 / c.peer_bandwidth;
+        assert!((b.peer - expect).abs() < 1e-12);
+        assert!((b.total() - expect).abs() < 1e-12);
+        // Peer transfers are communication, not kernel time.
+        assert!((b.data_copy() - expect).abs() < 1e-12);
+        assert_eq!(b.match_kernel(), 0.0);
     }
 
     #[test]

@@ -19,6 +19,8 @@ pub enum TraceEvent {
     Unified { faults: u64, hits: u64 },
     /// Device-memory read of `bytes` (cache hit).
     DeviceRead { bytes: usize },
+    /// Inter-device peer transfer of `bytes` (sharded replica maintenance).
+    Peer { bytes: usize },
 }
 
 /// Fixed-capacity ring of events.

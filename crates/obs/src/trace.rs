@@ -27,6 +27,9 @@ pub struct SpanArgs {
     pub level: Option<u32>,
     /// Free count: updates ingested, tasks merged, lists rebuilt…
     pub count: Option<u64>,
+    /// Shard index for multi-device spans (one lane per shard in the
+    /// Chrome trace view).
+    pub shard: Option<u32>,
 }
 
 /// A closed span as stored in the ring.
@@ -152,6 +155,9 @@ impl Tracer {
             if let Some(c) = s.args.count {
                 args.push(format!("\"count\":{c}"));
             }
+            if let Some(sh) = s.args.shard {
+                args.push(format!("\"shard\":{sh}"));
+            }
             if !args.is_empty() {
                 out.push_str(",\"args\":{");
                 out.push_str(&args.join(","));
@@ -195,6 +201,10 @@ impl SpanGuard<'_> {
 
     pub fn set_count(&mut self, count: u64) {
         self.args.count = Some(count);
+    }
+
+    pub fn set_shard(&mut self, shard: u32) {
+        self.args.shard = Some(shard);
     }
 }
 
@@ -268,10 +278,18 @@ mod tests {
             5,
             SpanArgs { level: Some(1), ..Default::default() },
         );
+        t.record_closed(
+            "shard_match",
+            "engine",
+            13,
+            3,
+            SpanArgs { shard: Some(2), ..Default::default() },
+        );
         let json = t.to_chrome_json();
         assert!(json.starts_with("{\"traceEvents\":["));
         assert!(json.contains("\"name\":\"outer\""));
         assert!(json.contains("\"args\":{\"level\":1}"));
+        assert!(json.contains("\"args\":{\"shard\":2}"));
         assert!(json.ends_with("\"displayTimeUnit\":\"ms\"}"));
         // Sorted by start time: outer (ts 10) precedes inner (ts 12).
         assert!(json.find("outer").unwrap() < json.find("inner").unwrap());

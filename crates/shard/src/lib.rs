@@ -1,0 +1,29 @@
+//! # gcsm-shard — multi-device partitioning and cross-shard delta routing
+//!
+//! The paper evaluates GCSM on one RTX3090 and leaves scale-out open. This
+//! crate supplies the graph-side half of the sharding layer:
+//!
+//! * [`partition`] — assign every vertex an owning shard (hash, range, or
+//!   degree-balanced policy) and materialise per-shard [`gcsm_graph::DynamicGraph`]s
+//!   with boundary-vertex replication (a shard stores every edge incident to
+//!   a vertex it owns, so cut edges exist on both endpoint owners);
+//! * [`router`] — split a sealed batch's `ΔE` across shards: every shard
+//!   whose partition contains the edge receives it for *graph maintenance*,
+//!   while exactly **one** shard (the owner of the canonical lower endpoint)
+//!   receives it for *matching*, so the summed per-shard `ΔM` counts every
+//!   delta seed exactly once.
+//!
+//! The exactly-once invariant is what makes sharded `ΔM` bit-identical to
+//! the single-device pipeline: incremental matching decomposes into
+//! independent seed tasks (delta plan × batch edge × orientation) whose
+//! statistics are pure sums, so partitioning the batch partitions the seed
+//! set and nothing else (see DESIGN.md §12).
+
+pub mod partition;
+pub mod router;
+
+pub use partition::{PartitionPolicy, Partitioning};
+pub use router::{route, RoutedBatch, PEER_UPDATE_BYTES};
+
+/// Shard index, dense in `0..num_shards`.
+pub type ShardId = usize;

@@ -1,0 +1,106 @@
+//! Multi-query differential suite: `MultiPipeline` over k registered
+//! queries must report, per batch and per query, exactly what k
+//! independent single-query `Pipeline`s report on the same stream — the
+//! shared seal/reorganize and the per-query engine loop are an execution
+//! optimization, never a semantic one. Exercised across the delta-cache
+//! and overlapped-reorganize configuration grid, since those paths
+//! reorder *when* work happens.
+
+use gcsm::{EngineConfig, GcsmEngine, MultiPipeline, Pipeline};
+use gcsm_datagen::{er::gnm, StreamConfig, UpdateStream};
+use gcsm_graph::EdgeUpdate;
+use gcsm_pattern::{queries, QueryGraph};
+
+fn query_set() -> Vec<QueryGraph> {
+    vec![queries::triangle(), queries::fig1_kite(), queries::q1()]
+}
+
+/// Per-query per-batch ΔM from k independent pipelines.
+fn independent(
+    initial: &gcsm_graph::CsrGraph,
+    batches: &[&[EdgeUpdate]],
+    cfg: &EngineConfig,
+    overlap: bool,
+) -> Vec<Vec<i64>> {
+    query_set()
+        .into_iter()
+        .map(|q| {
+            let mut engine = GcsmEngine::new(cfg.clone());
+            let mut p = Pipeline::new(initial.clone(), q);
+            p.set_overlap(overlap);
+            let deltas = batches.iter().map(|b| p.process_batch(&mut engine, b).matches).collect();
+            p.flush();
+            deltas
+        })
+        .collect()
+}
+
+/// Per-query per-batch ΔM from one MultiPipeline over the same queries.
+fn multiplexed(
+    initial: &gcsm_graph::CsrGraph,
+    batches: &[&[EdgeUpdate]],
+    cfg: &EngineConfig,
+    overlap: bool,
+) -> Vec<Vec<i64>> {
+    let mut mp = MultiPipeline::new(initial.clone());
+    for q in query_set() {
+        mp = mp.register(q, Box::new(GcsmEngine::new(cfg.clone())));
+    }
+    mp.set_overlap(overlap);
+    let mut per_query: Vec<Vec<i64>> = vec![Vec::new(); mp.num_queries()];
+    for b in batches {
+        let r = mp.process_batch(b);
+        for (qi, (_, br)) in r.per_query.iter().enumerate() {
+            per_query[qi].push(br.matches);
+        }
+    }
+    mp.flush();
+    per_query
+}
+
+/// The full {delta_cache} × {overlap} grid on a shared ER stream.
+#[test]
+fn multi_pipeline_equals_independent_pipelines() {
+    let base = gnm(384, 3072, 31);
+    let stream = UpdateStream::generate(&base, StreamConfig::Fraction(0.25), 41);
+    let batches: Vec<&[EdgeUpdate]> = stream.updates.chunks(128).collect();
+    let budget = stream.initial.adjacency_bytes();
+    for delta_cache in [false, true] {
+        for overlap in [false, true] {
+            let cfg = EngineConfig { delta_cache, ..EngineConfig::with_cache_budget(budget) };
+            let expect = independent(&stream.initial, &batches, &cfg, overlap);
+            let got = multiplexed(&stream.initial, &batches, &cfg, overlap);
+            assert_eq!(
+                got, expect,
+                "per-query ΔM diverges (delta_cache={delta_cache}, overlap={overlap})"
+            );
+        }
+    }
+}
+
+/// Final-graph agreement: after a full stream plus a drain of the
+/// deferred reorganize, the multiplexed host graph is edge-identical to
+/// a single-query pipeline's.
+#[test]
+fn multi_pipeline_final_graph_matches_single() {
+    let base = gnm(256, 2048, 7);
+    let stream = UpdateStream::generate(&base, StreamConfig::Fraction(0.3), 13);
+    let batches: Vec<&[EdgeUpdate]> = stream.updates.chunks(96).collect();
+    let cfg = EngineConfig::with_cache_budget(stream.initial.adjacency_bytes());
+
+    let mut mp = MultiPipeline::new(stream.initial.clone());
+    for q in query_set() {
+        mp = mp.register(q, Box::new(GcsmEngine::new(cfg.clone())));
+    }
+    mp.set_overlap(true);
+    let mut engine = GcsmEngine::new(cfg);
+    let mut single = Pipeline::new(stream.initial.clone(), queries::triangle());
+    for b in &batches {
+        mp.process_batch(b);
+        single.process_batch(&mut engine, b);
+    }
+    mp.flush();
+    let a: Vec<_> = mp.graph().to_csr().edges().collect();
+    let b: Vec<_> = single.graph().to_csr().edges().collect();
+    assert_eq!(a, b, "multiplexed host graph drifted from the single-query pipeline's");
+}
